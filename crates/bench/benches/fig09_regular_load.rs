@@ -1,0 +1,51 @@
+//! Figure 9: GPU execution time per frame under the regular-load scenario,
+//! normalized to BAS, for M1-M4 × {BAS, DCB, DTB, HMC}.
+//!
+//! Paper shape: DASH (DCB/DTB) takes 19-20% longer than BAS; HMC takes
+//! roughly twice as long.
+
+use emerald_bench::report::{norm, print_table};
+use emerald_mem::dram::DramConfig;
+use emerald_scene::workloads::m_models;
+use emerald_soc::experiment::{calibrate_period, run_cell, MemCfgKind, RunParams};
+
+fn main() {
+    let (w, h) = (160u32, 120u32);
+    let mut rows = Vec::new();
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); MemCfgKind::ALL.len()];
+    for m in m_models() {
+        eprintln!("[fig09] {} ...", m.id);
+        let period = calibrate_period(&m, w, h);
+        let params = RunParams {
+            width: w,
+            height: h,
+            frames: 3,
+            dram: DramConfig::lpddr3_1333(),
+            gpu_frame_period: period,
+            probe_window: None,
+            max_cycles_per_frame: 400_000_000,
+        };
+        let cells: Vec<_> = MemCfgKind::ALL
+            .iter()
+            .map(|&k| run_cell(&m, k, &params))
+            .collect();
+        let base = cells[0].avg_gpu_cycles;
+        let mut row = vec![m.id.to_string()];
+        for (i, c) in cells.iter().enumerate() {
+            let r = c.avg_gpu_cycles / base;
+            ratios[i].push(r);
+            row.push(norm(r));
+        }
+        rows.push(row);
+    }
+    let mut avg = vec!["AVG".to_string()];
+    for r in &ratios {
+        avg.push(norm(r.iter().sum::<f64>() / r.len() as f64));
+    }
+    rows.push(avg);
+    print_table(
+        "Fig. 9 — GPU frame time, regular load (normalized to BAS; paper: DASH ≈1.19-1.20, HMC ≈2.0)",
+        &["model", "BAS", "DCB", "DTB", "HMC"],
+        &rows,
+    );
+}

@@ -1,0 +1,73 @@
+//! Figure 14: M1 rendered under BAS (a) vs DASH-DTB (b) — per-source
+//! bandwidth timelines under high load.
+//!
+//! Paper shape: under DTB the CPU gets more early-frame bandwidth (GPU
+//! classified non-urgent), the GPU's bandwidth share drops, and the
+//! display is starved and aborts frames; near frame end the CPUs idle
+//! waiting on the GPU fence — the inter-IP dependency DASH cannot see.
+
+use emerald_bench::report::print_series;
+use emerald_mem::dram::DramConfig;
+use emerald_mem::system::SourceClass;
+use emerald_scene::workloads::m_models;
+use emerald_soc::experiment::{calibrate_period, run_cell, MemCfgKind, RunParams};
+
+fn main() {
+    let (w, h) = (96u32, 72u32);
+    let m1 = &m_models()[0];
+    let period = calibrate_period(m1, w, h);
+    for kind in [MemCfgKind::Bas, MemCfgKind::Dtb] {
+        let window = period.max(2_000) / 12;
+        let params = RunParams {
+            width: w,
+            height: h,
+            frames: 2,
+            dram: DramConfig::high_load(),
+            gpu_frame_period: period,
+            probe_window: Some(window),
+            max_cycles_per_frame: 300_000_000,
+        };
+        let cell = run_cell(m1, kind, &params);
+        let classes = [SourceClass::Cpu, SourceClass::Gpu, SourceClass::Display];
+        let names = ["CPU", "GPU", "Display"];
+        let mut series = Vec::new();
+        let mut labels: Vec<String> = Vec::new();
+        for (ci, c) in classes.iter().enumerate() {
+            let samples = cell
+                .probes
+                .iter()
+                .find(|(k, _)| k == c)
+                .map(|(_, s)| s.clone())
+                .unwrap_or_default();
+            if ci == 0 {
+                labels = samples.iter().map(|(t, _)| t.to_string()).collect();
+            }
+            let ys: Vec<f64> = samples
+                .iter()
+                .map(|(_, b)| *b as f64 / window as f64)
+                .collect();
+            series.push((names[ci].to_string(), ys));
+        }
+        let stride = (labels.len() / 40).max(1);
+        let labels: Vec<String> = labels.iter().step_by(stride).cloned().collect();
+        let series: Vec<(String, Vec<f64>)> = series
+            .into_iter()
+            .map(|(n, ys)| (n, ys.into_iter().step_by(stride).collect()))
+            .collect();
+        print_series(
+            &format!(
+                "Fig. 14({}) — M1 under {} (display aborts: {})",
+                if kind == MemCfgKind::Bas { "a" } else { "b" },
+                kind.label(),
+                cell.display_aborts
+            ),
+            "bytes/cycle",
+            &series,
+            &labels,
+        );
+        println!(
+            "  avg GPU frame: {:.0} cycles, avg total frame: {:.0} cycles",
+            cell.avg_gpu_cycles, cell.avg_total_cycles
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 17: frame execution time for WT sizes 1-10 normalized to WT 1,
+//! per workload (W1-W6).
+//!
+//! Paper shape: execution time varies 25%-88% across WT sizes and the
+//! best-performing WT differs per workload (W5 best at 1; others vary).
+
+use emerald_bench::report::{norm, print_table};
+use emerald_bench::standalone::{wt_sweep, DEFAULT_HEIGHT, DEFAULT_WIDTH};
+use emerald_scene::workloads::w_models;
+
+fn main() {
+    let mut rows = Vec::new();
+    for wl in w_models() {
+        eprintln!("[fig17] {} ...", wl.id);
+        let sweep = wt_sweep(&wl, DEFAULT_WIDTH, DEFAULT_HEIGHT, 10, 2);
+        let base = sweep[0].cycles.max(1) as f64;
+        let mut row = vec![wl.id.to_string()];
+        row.extend(sweep.iter().map(|s| norm(s.cycles as f64 / base)));
+        let best = sweep
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.cycles)
+            .map(|(i, _)| i + 1)
+            .unwrap_or(1);
+        row.push(best.to_string());
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 17 — frame time vs WT size (normalized to WT1; paper: swings 1.25-1.88×, best WT varies)",
+        &[
+            "model", "WT1", "WT2", "WT3", "WT4", "WT5", "WT6", "WT7", "WT8", "WT9", "WT10",
+            "best",
+        ],
+        &rows,
+    );
+}

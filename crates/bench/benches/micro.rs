@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks for the hot simulator components — useful
+//! for performance-regression tracking of the simulator itself (not a
+//! paper figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emerald_common::types::AccessKind;
+use emerald_core::geom::{setup_prim, ClipVert};
+use emerald_core::session::SceneBinding;
+use emerald_core::state::RenderTarget;
+use emerald_core::{GfxConfig, GpuRenderer};
+use emerald_gpu::gpu::SimpleMemPort;
+use emerald_gpu::GpuConfig;
+use emerald_isa::{assemble, execute, exec::NullCtx, ThreadState};
+use emerald_mem::cache::{Cache, CacheConfig};
+use emerald_mem::dram::{DramChannel, DramConfig};
+use emerald_mem::image::SharedMem;
+use emerald_mem::mapping::AddressMapping;
+use emerald_mem::req::MemRequest;
+use emerald_mem::sched::FrFcfs;
+use emerald_mem::system::{MemorySystem, MemorySystemConfig};
+use emerald_common::math::Vec4;
+use emerald_scene::workloads::w_models;
+use emerald_common::types::TrafficSource;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache_access_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::small("bench"));
+        cache.access(0x1000, AccessKind::Read, 1, 0);
+        cache.fill(0x1000);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(cache.access(0x1000, AccessKind::Read, i, i))
+        });
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_service_16_reads", |b| {
+        let map = AddressMapping::baseline(1);
+        b.iter(|| {
+            let mut ch = DramChannel::new(DramConfig::lpddr3_1600(), Box::new(FrFcfs::new()));
+            for i in 0..16u64 {
+                let req = MemRequest {
+                    id: i,
+                    addr: i * 128,
+                    bytes: 128,
+                    kind: AccessKind::Read,
+                    source: TrafficSource::Gpu,
+                    issued: 0,
+                };
+                ch.enqueue(req, map.decode(i * 128), 0).unwrap();
+            }
+            let mut now = 0;
+            while !ch.is_idle() {
+                ch.tick(now);
+                ch.pop_finished(now);
+                now += 1;
+            }
+            std::hint::black_box(now)
+        });
+    });
+}
+
+fn bench_raster(c: &mut Criterion) {
+    c.bench_function("rasterize_64x64_triangle", |b| {
+        let mk = |x: f32, y: f32| ClipVert {
+            pos: Vec4::new(x, y, 0.0, 1.0),
+            attrs: [0.5; 3],
+        };
+        let prim = setup_prim(&[mk(-1.0, -1.0), mk(1.0, -1.0), mk(-1.0, 1.0)], 64, 64).unwrap();
+        b.iter(|| {
+            let mut covered = 0u32;
+            for y in 0..64 {
+                for x in 0..64 {
+                    if prim.sample(x, y).is_some() {
+                        covered += 1;
+                    }
+                }
+            }
+            std::hint::black_box(covered)
+        });
+    });
+}
+
+fn bench_executor(c: &mut Criterion) {
+    c.bench_function("warp_execute_mad", |b| {
+        let p = assemble("mad.f32 r2, r0, r1, r2\nexit").unwrap();
+        let mut threads = vec![ThreadState::new(); 32];
+        let mut ctx = NullCtx;
+        b.iter(|| std::hint::black_box(execute(&p, 0, u32::MAX, &mut threads, &[], &mut ctx)));
+    });
+}
+
+fn bench_small_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame");
+    group.sample_size(10);
+    group.bench_function("cube_96x72", |b| {
+        let wl = &w_models()[2];
+        let mem = SharedMem::with_capacity(1 << 26);
+        let rt = RenderTarget::alloc(&mem, 96, 72);
+        let mut r = GpuRenderer::new(
+            GpuConfig::case_study_2(),
+            GfxConfig::case_study_2(),
+            mem.clone(),
+            rt,
+        );
+        let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
+            4,
+            DramConfig::lpddr3_1600(),
+        )));
+        let binding = SceneBinding::new(&mem, wl);
+        let mut f = 0u32;
+        b.iter(|| {
+            rt.clear(&mem, [0.0; 4], 1.0);
+            r.draw(binding.draw_for_frame(f, 96.0 / 72.0, false));
+            f += 1;
+            std::hint::black_box(r.run_frame(&mut port, 100_000_000).cycles)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_dram,
+    bench_raster,
+    bench_executor,
+    bench_small_frame
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Experiment harnesses for regenerating the paper's tables and figures.
+//!
+//! Every `benches/figNN_*.rs` target is a standalone binary (harness-less
+//! bench) that prints the rows/series of the corresponding figure. The
+//! shared machinery lives here:
+//!
+//! * [`standalone`] — case study II: the standalone-GPU workbench, WT
+//!   sweeps and the MLB/MLC/SOPT/DFSL policies (Figures 17-19).
+//! * [`report`] — plain-text table/series printing.
+//! * [`accuracy`] — the §3.4-style correlation methodology against an
+//!   analytic first-order cost model (the silicon stand-in).
+//!
+//! Scale note: the paper renders 1024×768; these harnesses default to
+//! smaller targets (documented per bench) so a full `cargo bench` pass
+//! finishes in minutes. Relative effects — who wins and by what factor —
+//! are what the figures reproduce (see EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod report;
+pub mod standalone;
+
+pub use standalone::{Policy, Workbench};

@@ -1,0 +1,171 @@
+//! Bounded FIFO queues — the plumbing between timing-model pipeline stages.
+//!
+//! Hardware queues have finite capacity and exert backpressure; modeling that
+//! faithfully is what distinguishes an execution-driven simulator from trace
+//! replay (the point of the paper's case study I). [`Fifo`] makes the
+//! capacity check explicit at every producer.
+
+use std::collections::VecDeque;
+
+/// A bounded first-in/first-out queue.
+///
+/// # Examples
+///
+/// ```
+/// use emerald_common::Fifo;
+///
+/// let mut q = Fifo::new(2);
+/// assert!(q.push(1).is_ok());
+/// assert!(q.push(2).is_ok());
+/// assert!(q.push(3).is_err()); // full — backpressure
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a queue holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`; a zero-entry queue can never be used.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        Self {
+            items: VecDeque::with_capacity(capacity.min(64)),
+            capacity,
+        }
+    }
+
+    /// Attempts to enqueue; returns the value back on a full queue so the
+    /// producer can retry next cycle.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        if self.is_full() {
+            Err(value)
+        } else {
+            self.items.push_back(value);
+            Ok(())
+        }
+    }
+
+    /// Dequeues the oldest entry.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest entry without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when no more entries fit.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Remaining free slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes and returns the first entry matching `pred` (used by
+    /// out-of-order consumers such as the DRAM FR-FCFS scheduler).
+    pub fn pop_where<F: FnMut(&T) -> bool>(&mut self, pred: F) -> Option<T> {
+        let idx = self.items.iter().position(pred)?;
+        self.items.remove(idx)
+    }
+
+    /// Drops every queued entry.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Fifo<T> {
+    type Item = &'a T;
+    type IntoIter = std::collections::vec_deque::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_capacity() {
+        let mut q = Fifo::new(3);
+        for i in 0..3 {
+            assert!(q.push(i).is_ok());
+        }
+        assert!(q.is_full());
+        assert_eq!(q.push(99), Err(99));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = Fifo::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_where_removes_match_only() {
+        let mut q = Fifo::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_where(|&x| x == 3), Some(3));
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop_where(|&x| x == 3), None);
+        let rest: Vec<_> = (0..4).map(|_| q.pop().unwrap()).collect();
+        assert_eq!(rest, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn free_tracks_occupancy() {
+        let mut q = Fifo::new(5);
+        assert_eq!(q.free(), 5);
+        q.push(1).unwrap();
+        assert_eq!(q.free(), 4);
+        q.pop();
+        assert_eq!(q.free(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Fifo::<u32>::new(0);
+    }
+}

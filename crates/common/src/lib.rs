@@ -1,0 +1,35 @@
+//! Shared foundation for the Emerald-rs simulator.
+//!
+//! This crate holds the vocabulary types used by every other Emerald crate:
+//!
+//! * [`types`] — cycle counters, addresses, component identifiers and the
+//!   traffic-source tags that the SoC memory controllers schedule by.
+//! * [`stats`] — counters, ratios, histograms and time-series probes used to
+//!   produce the paper's figures.
+//! * [`rng`] — a small deterministic PRNG (`xorshift64*`); simulators must be
+//!   reproducible, so no ambient OS entropy is ever used.
+//! * [`math`] — vectors, matrices and geometric helpers for the graphics
+//!   pipeline (3D transforms, bounding boxes, barycentrics).
+//! * [`fifo`] — bounded queues, the basic plumbing of the timing model.
+//!
+//! # Example
+//!
+//! ```
+//! use emerald_common::math::{Mat4, Vec4};
+//!
+//! let mvp = Mat4::perspective(60f32.to_radians(), 4.0 / 3.0, 0.1, 100.0);
+//! let clip = mvp.mul_vec4(Vec4::new(0.0, 0.0, -1.0, 1.0));
+//! assert!(clip.w > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fifo;
+pub mod math;
+pub mod rng;
+pub mod stats;
+pub mod types;
+
+pub use fifo::Fifo;
+pub use rng::Xorshift64;
+pub use types::{Addr, ClusterId, CoreId, Cycle, TrafficSource, WarpId};

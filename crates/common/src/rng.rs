@@ -1,0 +1,148 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic decision in the simulator (DASH's probabilistic
+//! scheduling, synthetic CPU traffic, workload jitter) draws from an
+//! explicitly-seeded [`Xorshift64`] so that runs are bit-reproducible.
+
+/// An `xorshift64*` PRNG — tiny, fast, and good enough for scheduling noise.
+///
+/// # Examples
+///
+/// ```
+/// use emerald_common::rng::Xorshift64;
+///
+/// let mut a = Xorshift64::new(42);
+/// let mut b = Xorshift64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xorshift64 {
+    state: u64,
+}
+
+impl Xorshift64 {
+    /// Creates a generator from a seed. A zero seed is remapped to a fixed
+    /// non-zero constant (xorshift has an all-zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift; bias is negligible for simulator purposes.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+impl Default for Xorshift64 {
+    fn default() -> Self {
+        Self::new(0xE43A_1D0C)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Xorshift64::new(7);
+        let mut b = Xorshift64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = Xorshift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = Xorshift64::new(3);
+        for _ in 0..1000 {
+            let f = r.next_f32();
+            assert!((0.0..1.0).contains(&f));
+            let d = r.next_f64();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Xorshift64::new(5);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Xorshift64::new(11);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[r.below(8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket count {b} out of range");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Xorshift64::new(9);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -1,0 +1,339 @@
+//! Statistics collection: ratios, running summaries, histograms and
+//! windowed time series (used for the paper's bandwidth-vs-time figures).
+
+use crate::types::Cycle;
+
+/// A hit/total style ratio counter (cache hit rates, row-buffer hit rates…).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ratio {
+    /// Numerator (e.g. hits).
+    pub num: u64,
+    /// Denominator (e.g. total accesses).
+    pub den: u64,
+}
+
+impl Ratio {
+    /// Adds one event, hitting or missing.
+    pub fn record(&mut self, hit: bool) {
+        self.den += 1;
+        if hit {
+            self.num += 1;
+        }
+    }
+
+    /// The ratio value, or 0 when no events were recorded.
+    pub fn value(&self) -> f64 {
+        if self.den == 0 {
+            0.0
+        } else {
+            self.num as f64 / self.den as f64
+        }
+    }
+
+    /// Merges another ratio's counts into this one.
+    pub fn merge(&mut self, other: &Ratio) {
+        self.num += other.num;
+        self.den += other.den;
+    }
+}
+
+/// Streaming min/max/mean/count summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum sample, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// A fixed-width-bucket histogram over `[0, bucket_width * buckets)`, with an
+/// overflow bucket at the end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` regular buckets of `bucket_width`
+    /// plus one overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width == 0` or `buckets == 0`.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0 && buckets > 0);
+        Self {
+            bucket_width,
+            counts: vec![0; buckets + 1],
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = ((value / self.bucket_width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Windowed byte-rate probe producing a bandwidth-over-time series, as used
+/// by Figures 10 and 14 of the paper.
+#[derive(Debug, Clone)]
+pub struct BandwidthProbe {
+    window: Cycle,
+    cur_window: Cycle,
+    cur_bytes: u64,
+    total_bytes: u64,
+    samples: Vec<(Cycle, u64)>,
+}
+
+impl BandwidthProbe {
+    /// Creates a probe aggregating bytes over `window`-cycle windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: Cycle) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            cur_window: 0,
+            cur_bytes: 0,
+            total_bytes: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records `bytes` transferred at `cycle`. Cycles must be non-decreasing.
+    pub fn record(&mut self, cycle: Cycle, bytes: u64) {
+        let w = cycle / self.window;
+        while w > self.cur_window {
+            self.samples.push((self.cur_window * self.window, self.cur_bytes));
+            self.cur_bytes = 0;
+            self.cur_window += 1;
+        }
+        self.cur_bytes += bytes;
+        self.total_bytes += bytes;
+    }
+
+    /// Flushes the current partial window and returns `(window_start_cycle,
+    /// bytes_in_window)` samples.
+    pub fn finish(mut self) -> Vec<(Cycle, u64)> {
+        self.samples.push((self.cur_window * self.window, self.cur_bytes));
+        self.samples
+    }
+
+    /// Completed-window samples observed so far (excludes the open window).
+    pub fn samples(&self) -> &[(Cycle, u64)] {
+        &self.samples
+    }
+
+    /// All bytes ever recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Window width in cycles.
+    pub fn window(&self) -> Cycle {
+        self.window
+    }
+}
+
+/// Pearson correlation coefficient of paired samples, or `None` when either
+/// series is constant or the lengths differ / are < 2.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Geometric mean of positive values; returns `None` if empty or any value
+/// is non-positive.
+pub fn geomean(vals: &[f64]) -> Option<f64> {
+    if vals.is_empty() || vals.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = vals.iter().map(|v| v.ln()).sum();
+    Some((log_sum / vals.len() as f64).exp())
+}
+
+/// Mean absolute relative error `|a-b|/|a|` between a reference series `a`
+/// and a measured series `b` (the paper's §3.4 accuracy metric).
+pub fn mean_abs_rel_error(reference: &[f64], measured: &[f64]) -> Option<f64> {
+    if reference.len() != measured.len() || reference.is_empty() {
+        return None;
+    }
+    let mut acc = 0.0;
+    for (&a, &b) in reference.iter().zip(measured) {
+        if a == 0.0 {
+            return None;
+        }
+        acc += ((a - b) / a).abs();
+    }
+    Some(acc / reference.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_value_and_merge() {
+        let mut r = Ratio::default();
+        assert_eq!(r.value(), 0.0);
+        r.record(true);
+        r.record(false);
+        r.record(true);
+        assert!((r.value() - 2.0 / 3.0).abs() < 1e-12);
+        let mut r2 = Ratio { num: 1, den: 1 };
+        r2.merge(&r);
+        assert_eq!(r2.num, 3);
+        assert_eq!(r2.den, 4);
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        for v in [3.0, -1.0, 10.0] {
+            s.add(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 10.0);
+        assert!((s.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10, 3);
+        for v in [0, 9, 10, 25, 29, 30, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 2, 2]);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn bandwidth_probe_windows() {
+        let mut p = BandwidthProbe::new(100);
+        p.record(10, 64);
+        p.record(50, 64);
+        p.record(150, 128);
+        p.record(420, 32);
+        let s = p.finish();
+        assert_eq!(s[0], (0, 128));
+        assert_eq!(s[1], (100, 128));
+        assert_eq!(s[2], (200, 0));
+        assert_eq!(s[3], (300, 0));
+        assert_eq!(s[4], (400, 32));
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let inv = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &inv).unwrap() + 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]).is_none());
+        assert!(pearson(&xs, &ys[..3]).is_none());
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_none());
+        assert!(geomean(&[1.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn rel_error_metric() {
+        let e = mean_abs_rel_error(&[10.0, 20.0], &[9.0, 22.0]).unwrap();
+        assert!((e - 0.1).abs() < 1e-12);
+        assert!(mean_abs_rel_error(&[0.0], &[1.0]).is_none());
+        assert!(mean_abs_rel_error(&[1.0], &[1.0, 2.0]).is_none());
+    }
+}

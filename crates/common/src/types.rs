@@ -1,0 +1,147 @@
+//! Core vocabulary types: cycles, addresses and component identifiers.
+
+use std::fmt;
+
+/// A simulation time-stamp, measured in core clock cycles.
+pub type Cycle = u64;
+
+/// A simulated physical byte address.
+pub type Addr = u64;
+
+/// Number of threads in a warp (the paper, like NVIDIA hardware, uses 32).
+pub const WARP_SIZE: usize = 32;
+
+/// Identifier of a GPU SIMT cluster (the paper's "SIMT core cluster").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClusterId(pub usize);
+
+/// Identifier of a SIMT core within the whole GPU (global index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub usize);
+
+/// Identifier of a warp slot within one SIMT core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WarpId(pub usize);
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl fmt::Display for WarpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "warp{}", self.0)
+    }
+}
+
+/// The SoC agent a memory request originates from.
+///
+/// DASH and HMC (case study I) schedule DRAM accesses by source class, so
+/// every request that reaches a memory controller carries one of these tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrafficSource {
+    /// A CPU core, by index within the CPU cluster.
+    Cpu(usize),
+    /// The GPU (all SIMT clusters share one tag, as in the paper).
+    Gpu,
+    /// The display controller DMA engine.
+    Display,
+    /// Any other DMA/IP block (unused by the paper's case studies but kept
+    /// for extensibility — requirement (3) of the paper's intro).
+    OtherIp(usize),
+}
+
+impl TrafficSource {
+    /// True when the source is a CPU core.
+    pub fn is_cpu(self) -> bool {
+        matches!(self, TrafficSource::Cpu(_))
+    }
+
+    /// True when the source is an accelerator/IP block (GPU, display, other).
+    pub fn is_ip(self) -> bool {
+        !self.is_cpu()
+    }
+}
+
+impl fmt::Display for TrafficSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficSource::Cpu(i) => write!(f, "cpu{i}"),
+            TrafficSource::Gpu => write!(f, "gpu"),
+            TrafficSource::Display => write!(f, "display"),
+            TrafficSource::OtherIp(i) => write!(f, "ip{i}"),
+        }
+    }
+}
+
+/// Read/write direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load; the requester waits for the data.
+    Read,
+    /// A store; modeled as posted (no response needed by the requester).
+    Write,
+}
+
+/// Aligns `addr` down to a `block` boundary. `block` must be a power of two.
+///
+/// # Examples
+///
+/// ```
+/// # use emerald_common::types::align_down;
+/// assert_eq!(align_down(0x1234, 128), 0x1200);
+/// ```
+pub fn align_down(addr: Addr, block: u64) -> Addr {
+    debug_assert!(block.is_power_of_two());
+    addr & !(block - 1)
+}
+
+/// Integer ceiling division.
+///
+/// ```
+/// # use emerald_common::types::div_ceil;
+/// assert_eq!(div_ceil(10, 4), 3);
+/// assert_eq!(div_ceil(8, 4), 2);
+/// assert_eq!(div_ceil(0, 4), 0);
+/// ```
+pub fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_source_classes() {
+        assert!(TrafficSource::Cpu(0).is_cpu());
+        assert!(!TrafficSource::Cpu(3).is_ip());
+        assert!(TrafficSource::Gpu.is_ip());
+        assert!(TrafficSource::Display.is_ip());
+        assert!(TrafficSource::OtherIp(1).is_ip());
+    }
+
+    #[test]
+    fn align_down_powers_of_two() {
+        assert_eq!(align_down(0, 64), 0);
+        assert_eq!(align_down(63, 64), 0);
+        assert_eq!(align_down(64, 64), 64);
+        assert_eq!(align_down(0xffff_ffff, 128), 0xffff_ff80);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ClusterId(2).to_string(), "cluster2");
+        assert_eq!(CoreId(5).to_string(), "core5");
+        assert_eq!(WarpId(7).to_string(), "warp7");
+        assert_eq!(TrafficSource::Cpu(1).to_string(), "cpu1");
+        assert_eq!(TrafficSource::Gpu.to_string(), "gpu");
+    }
+}

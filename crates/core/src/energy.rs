@@ -1,0 +1,150 @@
+//! A first-order GPU energy model.
+//!
+//! The paper lists "developing Emerald-compatible GPUWattch configurations
+//! for mobile GPUs" as future work (§8), and motivates DFSL by *energy*:
+//! shorter frames let the GPU race-to-idle between deadlines. This module
+//! prototypes that accounting: event energies in the style of
+//! GPUWattch/McPAT aggregated over a frame's [`FrameStats`], plus static
+//! power over the frame's cycles.
+//!
+//! Coefficients are normalized per-event energies (picojoules at a nominal
+//! mobile process), not silicon-validated values; use them for *relative*
+//! comparisons (e.g. DFSL vs static WT), which is how the benches report
+//! them.
+
+use crate::renderer::FrameStats;
+
+/// Per-event energy coefficients (picojoules) and static power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per warp instruction issued.
+    pub pj_per_instruction: f64,
+    /// Energy per L1 cache access (any of the four L1s).
+    pub pj_per_l1_access: f64,
+    /// Energy per L2 access.
+    pub pj_per_l2_access: f64,
+    /// Energy per DRAM byte transferred.
+    pub pj_per_dram_byte: f64,
+    /// Energy per DRAM row activation.
+    pub pj_per_activation: f64,
+    /// Static/leakage power in watts at the nominal 1 GHz clock
+    /// (pJ per cycle numerically).
+    pub static_pj_per_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::mobile()
+    }
+}
+
+impl EnergyModel {
+    /// Mobile-SoC-class coefficients (GPUWattch/McPAT orders of magnitude:
+    /// tens of pJ per op, ~100 pJ/byte at LPDDR, nJ-class activations).
+    pub fn mobile() -> Self {
+        Self {
+            pj_per_instruction: 30.0,
+            pj_per_l1_access: 20.0,
+            pj_per_l2_access: 60.0,
+            pj_per_dram_byte: 80.0,
+            pj_per_activation: 2_000.0,
+            static_pj_per_cycle: 150.0,
+        }
+    }
+
+    /// Estimated dynamic + static energy for a frame, in microjoules.
+    ///
+    /// `dram_activations` comes from the memory system's channel stats
+    /// (pass 0 when unavailable; the byte term still dominates).
+    pub fn frame_energy_uj(&self, s: &FrameStats, dram_activations: u64) -> f64 {
+        let l1_accesses = s.l1_misses_total() // misses re-access below…
+            + s.fragments * 4 // …but most traffic is hits; approximate
+            + s.vertices_shaded * 2;
+        let dram_bytes = (s.dram_reads + s.dram_writes) * 128;
+        let pj = self.pj_per_instruction * s.instructions as f64
+            + self.pj_per_l1_access * l1_accesses as f64
+            + self.pj_per_l2_access * (s.l1_misses_total() + s.l2_misses) as f64
+            + self.pj_per_dram_byte * dram_bytes as f64
+            + self.pj_per_activation * dram_activations as f64
+            + self.static_pj_per_cycle * s.cycles as f64;
+        pj / 1e6
+    }
+
+    /// Energy for a frame *slot*: the frame's active energy plus idle
+    /// static energy until the deadline (race-to-idle, with idle power a
+    /// fraction of active static power). This is the quantity DFSL
+    /// improves: finishing earlier converts active-static into idle-static
+    /// energy.
+    pub fn frame_slot_energy_uj(
+        &self,
+        s: &FrameStats,
+        dram_activations: u64,
+        period_cycles: u64,
+        idle_power_fraction: f64,
+    ) -> f64 {
+        let active = self.frame_energy_uj(s, dram_activations);
+        let idle_cycles = period_cycles.saturating_sub(s.cycles);
+        active
+            + self.static_pj_per_cycle * idle_power_fraction.clamp(0.0, 1.0)
+                * idle_cycles as f64
+                / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: u64) -> FrameStats {
+        FrameStats {
+            cycles,
+            instructions: 10_000,
+            fragments: 5_000,
+            vertices_shaded: 300,
+            l1d_misses: 100,
+            l1t_misses: 200,
+            l1z_misses: 50,
+            l1c_misses: 10,
+            l2_misses: 150,
+            dram_reads: 400,
+            dram_writes: 100,
+            ..FrameStats::default()
+        }
+    }
+
+    #[test]
+    fn energy_is_positive_and_monotonic_in_work() {
+        let m = EnergyModel::mobile();
+        let small = m.frame_energy_uj(&stats(10_000), 50);
+        let mut big_stats = stats(10_000);
+        big_stats.instructions *= 4;
+        big_stats.dram_reads *= 4;
+        let big = m.frame_energy_uj(&big_stats, 50);
+        assert!(small > 0.0);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn longer_frames_burn_more_static_energy() {
+        let m = EnergyModel::mobile();
+        let fast = m.frame_energy_uj(&stats(10_000), 0);
+        let slow = m.frame_energy_uj(&stats(50_000), 0);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn race_to_idle_favors_faster_frames() {
+        // Same work, different durations, same deadline: finishing early
+        // must cost less for any idle fraction < 1.
+        let m = EnergyModel::mobile();
+        let period = 100_000;
+        let fast = m.frame_slot_energy_uj(&stats(20_000), 10, period, 0.2);
+        let slow = m.frame_slot_energy_uj(&stats(80_000), 10, period, 0.2);
+        assert!(fast < slow);
+        // With idle fraction 1.0 the slot energy is duration-independent
+        // (static burns either way).
+        let f1 = m.frame_slot_energy_uj(&stats(20_000), 10, period, 1.0);
+        let s1 = m.frame_slot_energy_uj(&stats(80_000), 10, period, 1.0);
+        assert!((f1 - s1).abs() < 1e-9);
+    }
+}

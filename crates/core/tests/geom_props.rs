@@ -1,0 +1,100 @@
+//! Property tests for rasterization geometry.
+
+use emerald_common::math::{signed_area2, Vec2, Vec4};
+use emerald_core::geom::{setup_prim, ClipVert, NUM_VARYINGS};
+use proptest::prelude::*;
+
+const W: u32 = 32;
+const H: u32 = 32;
+
+fn vert(x: f32, y: f32) -> ClipVert {
+    ClipVert {
+        pos: Vec4::new(x, y, 0.0, 1.0),
+        attrs: [0.0; NUM_VARYINGS],
+    }
+}
+
+fn coord() -> impl Strategy<Value = f32> {
+    (-12i32..=12).prop_map(|v| v as f32 / 10.0)
+}
+
+proptest! {
+    /// Where a primitive survives setup, pixel coverage must match the
+    /// sign-based point-in-triangle reference (away from edges).
+    #[test]
+    fn coverage_matches_barycentric_reference(
+        ax in coord(), ay in coord(), bx in coord(), by in coord(), cx in coord(), cy in coord()
+    ) {
+        let verts = [vert(ax, ay), vert(bx, by), vert(cx, cy)];
+        let Ok(prim) = setup_prim(&verts, W, H) else { return Ok(()); };
+        // Screen-space corners (same transform as setup_prim).
+        let to_screen = |x: f32, y: f32| {
+            Vec2::new((x * 0.5 + 0.5) * W as f32, (0.5 - y * 0.5) * H as f32)
+        };
+        let (a, b, c) = (to_screen(ax, ay), to_screen(bx, by), to_screen(cx, cy));
+        for py in 0..H as i32 {
+            for px in 0..W as i32 {
+                let p = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
+                let e0 = signed_area2(a, b, p);
+                let e1 = signed_area2(b, c, p);
+                let e2 = signed_area2(c, a, p);
+                // The rasterizer snaps vertices to a 1/16-pixel grid, which
+                // can move an edge by up to ~1/16 px; with edge lengths up
+                // to ~50 px that shifts edge-function values by up to ~2
+                // (in px² units). Only classify pixels beyond that band.
+                let margin = 2.5;
+                let strictly_inside = (e0 < -margin && e1 < -margin && e2 < -margin)
+                    || (e0 > margin && e1 > margin && e2 > margin);
+                let strictly_outside = (e0 < -margin || e1 < -margin || e2 < -margin)
+                    && (e0 > margin || e1 > margin || e2 > margin);
+                let covered = prim.sample(px, py).is_some();
+                if strictly_inside {
+                    prop_assert!(covered, "interior pixel ({px},{py}) not covered");
+                } else if strictly_outside && covered {
+                    prop_assert!(false, "exterior pixel ({px},{py}) covered");
+                }
+            }
+        }
+    }
+
+    /// Two triangles sharing a diagonal cover each pixel of their union at
+    /// most once (top-left fill rule), regardless of quad shape.
+    #[test]
+    fn shared_edges_never_double_cover(
+        ax in coord(), ay in coord(), bx in coord(), by in coord(),
+        cx in coord(), cy in coord(), dx in coord(), dy in coord()
+    ) {
+        // Quad a-b-c-d split along a-c, both wound the same direction.
+        let t1 = [vert(ax, ay), vert(bx, by), vert(cx, cy)];
+        let t2 = [vert(ax, ay), vert(cx, cy), vert(dx, dy)];
+        let p1 = setup_prim(&t1, W, H);
+        let p2 = setup_prim(&t2, W, H);
+        let (Ok(p1), Ok(p2)) = (p1, p2) else { return Ok(()); };
+        for py in 0..H as i32 {
+            for px in 0..W as i32 {
+                let hits = p1.sample(px, py).is_some() as u32 + p2.sample(px, py).is_some() as u32;
+                prop_assert!(hits <= 1, "pixel ({px},{py}) covered {hits} times");
+            }
+        }
+    }
+
+    /// Interpolated depth stays within the vertex depth bounds.
+    #[test]
+    fn depth_within_bounds(
+        az in -0.9f32..0.9, bz in -0.9f32..0.9, cz in -0.9f32..0.9
+    ) {
+        let mut verts = [vert(-0.8, -0.8), vert(0.8, -0.8), vert(-0.8, 0.8)];
+        verts[0].pos.z = az;
+        verts[1].pos.z = bz;
+        verts[2].pos.z = cz;
+        let Ok(prim) = setup_prim(&verts, W, H) else { return Ok(()); };
+        let (lo, hi) = prim.z_bounds();
+        for py in 0..H as i32 {
+            for px in 0..W as i32 {
+                if let Some((z, _)) = prim.sample(px, py) {
+                    prop_assert!(z >= lo - 1e-4 && z <= hi + 1e-4, "z {z} outside [{lo},{hi}]");
+                }
+            }
+        }
+    }
+}

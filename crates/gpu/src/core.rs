@@ -1,0 +1,770 @@
+//! The SIMT core: warp scheduling, scoreboarding, the coalescing LSU and
+//! the per-core L1 caches (Table 2 of the paper).
+//!
+//! Functional execution happens at issue (via [`emerald_isa::execute`]);
+//! the core then models *when* results become visible: ALU/SFU results
+//! release their destination registers after a fixed pipeline latency,
+//! memory results when the coalesced line accesses return from the cache
+//! hierarchy.
+
+use crate::config::{GpuConfig, WarpSched};
+use crate::warp::{Warp, WarpTag};
+use emerald_common::types::{AccessKind, Addr, CoreId, Cycle};
+use emerald_isa::exec::Surface;
+use emerald_isa::op::{LatencyClass, Op};
+use emerald_isa::{execute, ExecCtx, Outcome};
+use emerald_mem::cache::{Access, Cache};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// A coalesced line access waiting for an L1 port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingLine {
+    /// Memory token this access contributes to (0 = untracked write).
+    pub token: u64,
+    /// Target surface / cache.
+    pub surface: Surface,
+    /// Line-aligned address.
+    pub line: Addr,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// An L1 miss (or write) leaving the core toward the GPU L2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Miss {
+    /// Originating core (global index).
+    pub core: usize,
+    /// Which L1 missed (so the fill returns to the right cache).
+    pub surface: Surface,
+    /// Line-aligned address.
+    pub line: Addr,
+    /// Read fill or write/writeback.
+    pub kind: AccessKind,
+}
+
+#[derive(Debug)]
+struct MemToken {
+    slot: usize,
+    regs: Vec<u8>,
+    remaining: u32,
+}
+
+/// Issue/commit statistics for one core.
+#[derive(Debug, Default, Clone)]
+pub struct CoreStats {
+    /// Dynamic instructions issued.
+    pub issued: u64,
+    /// Memory-class instructions issued.
+    pub mem_instrs: u64,
+    /// Cycles with at least one instruction issued.
+    pub active_cycles: u64,
+    /// Cycles ticked.
+    pub cycles: u64,
+    /// Warps launched onto this core.
+    pub warps_launched: u64,
+    /// Warps retired.
+    pub warps_retired: u64,
+}
+
+/// One SIMT core (32 lanes).
+#[derive(Debug)]
+pub struct SimtCore {
+    /// Global core index.
+    pub id: CoreId,
+    cfg: GpuConfig,
+    warps: Vec<Option<Warp>>,
+    /// Launch sequence per slot (for greedy-then-oldest).
+    seq: Vec<u64>,
+    next_seq: u64,
+    last_greedy: Vec<Option<usize>>,
+    l1d: Cache,
+    l1t: Cache,
+    l1z: Cache,
+    l1c: Cache,
+    lsu: VecDeque<PendingLine>,
+    tokens: HashMap<u64, MemToken>,
+    next_token: u64,
+    reg_release: BTreeMap<Cycle, Vec<(usize, Vec<u8>)>>,
+    token_done: BTreeMap<Cycle, Vec<u64>>,
+    miss_out: VecDeque<L1Miss>,
+    finished: Vec<WarpTag>,
+    used_regs: usize,
+    barriers: HashMap<(usize, usize), usize>,
+    stats: CoreStats,
+}
+
+impl SimtCore {
+    /// Builds a core with the given global index.
+    pub fn new(id: CoreId, cfg: &GpuConfig) -> Self {
+        Self {
+            id,
+            warps: (0..cfg.max_warps_per_core).map(|_| None).collect(),
+            seq: vec![0; cfg.max_warps_per_core],
+            next_seq: 0,
+            last_greedy: vec![None; cfg.schedulers_per_core],
+            l1d: Cache::new(cfg.l1d.clone()),
+            l1t: Cache::new(cfg.l1t.clone()),
+            l1z: Cache::new(cfg.l1z.clone()),
+            l1c: Cache::new(cfg.l1c.clone()),
+            lsu: VecDeque::new(),
+            tokens: HashMap::new(),
+            next_token: 1, // 0 is the untracked-write sentinel
+            reg_release: BTreeMap::new(),
+            token_done: BTreeMap::new(),
+            miss_out: VecDeque::new(),
+            finished: Vec::new(),
+            used_regs: 0,
+            barriers: HashMap::new(),
+            cfg: cfg.clone(),
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Register demand of a warp running `program`.
+    fn reg_demand(program: &emerald_isa::Program) -> usize {
+        program.regs_used().max(1) * 32
+    }
+
+    /// True when `program`'s warp would fit right now (free slot and
+    /// register-file space).
+    pub fn can_accept(&self, program: &emerald_isa::Program) -> bool {
+        self.warps.iter().any(Option::is_none)
+            && self.used_regs + Self::reg_demand(program) <= self.cfg.regs_per_core
+    }
+
+    /// Launches a warp; hands it back if the core cannot take it.
+    ///
+    /// The `Err` intentionally carries the whole warp (it is state being
+    /// returned to the caller, not an error description).
+    #[allow(clippy::result_large_err)]
+    pub fn launch(&mut self, warp: Warp) -> Result<(), Warp> {
+        let demand = Self::reg_demand(&warp.program);
+        if self.used_regs + demand > self.cfg.regs_per_core {
+            return Err(warp);
+        }
+        let Some(slot) = self.warps.iter().position(Option::is_none) else {
+            return Err(warp);
+        };
+        self.used_regs += demand;
+        self.seq[slot] = self.next_seq;
+        self.next_seq += 1;
+        self.warps[slot] = Some(warp);
+        self.stats.warps_launched += 1;
+        Ok(())
+    }
+
+    /// Resident warps.
+    pub fn occupancy(&self) -> usize {
+        self.warps.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// True when no warp is resident and no memory is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.occupancy() == 0 && self.lsu.is_empty() && self.tokens.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Per-surface L1 cache (for stats; Figure 18 plots L1 miss counts).
+    pub fn l1(&self, surface: Surface) -> Option<&Cache> {
+        match surface {
+            Surface::Data => Some(&self.l1d),
+            Surface::Texture => Some(&self.l1t),
+            Surface::Depth => Some(&self.l1z),
+            Surface::ConstVertex => Some(&self.l1c),
+            Surface::Shared => None,
+        }
+    }
+
+    /// Resets cache and core statistics (between frames/experiments).
+    pub fn reset_stats(&mut self) {
+        self.stats = CoreStats::default();
+        self.l1d.reset_stats();
+        self.l1t.reset_stats();
+        self.l1z.reset_stats();
+        self.l1c.reset_stats();
+    }
+
+    /// Drains a finished-warp tag, if any.
+    pub fn pop_finished(&mut self) -> Option<WarpTag> {
+        self.finished.pop()
+    }
+
+    /// Drains an outgoing L1 miss / write toward the L2.
+    pub fn pop_miss(&mut self) -> Option<L1Miss> {
+        self.miss_out.pop_front()
+    }
+
+    /// Peeks whether any miss is waiting to leave.
+    pub fn has_miss(&self) -> bool {
+        !self.miss_out.is_empty()
+    }
+
+    /// Returns a popped miss to the head of the queue (interconnect
+    /// backpressure).
+    pub fn push_miss_front(&mut self, miss: L1Miss) {
+        self.miss_out.push_front(miss);
+    }
+
+    fn cache_mut(&mut self, surface: Surface) -> &mut Cache {
+        match surface {
+            Surface::Data => &mut self.l1d,
+            Surface::Texture => &mut self.l1t,
+            Surface::Depth => &mut self.l1z,
+            Surface::ConstVertex => &mut self.l1c,
+            Surface::Shared => unreachable!("shared memory bypasses caches"),
+        }
+    }
+
+    /// One-line internal state summary (diagnostics).
+    pub fn debug_snapshot(&self) -> String {
+        format!(
+            "occ={} lsu={} lsu_head={:?} tokens={} l1d_pend={} l1t_pend={} l1z_pend={} l1c_pend={} miss_out={} warps_waiting_mem={}",
+            self.occupancy(),
+            self.lsu.len(),
+            self.lsu.front(),
+            self.tokens.len(),
+            self.l1d.pending_lines(),
+            self.l1t.pending_lines(),
+            self.l1z.pending_lines(),
+            self.l1c.pending_lines(),
+            self.miss_out.len(),
+            self.warps.iter().flatten().filter(|w| w.outstanding_mem > 0).count(),
+        )
+    }
+
+    /// Delivers an L2→L1 fill for `(surface, line)`.
+    pub fn fill_l1(&mut self, surface: Surface, line: Addr, now: Cycle) {
+        let lat = self.cache_mut(surface).config().hit_latency as Cycle;
+        let tokens = self.cache_mut(surface).fill(line);
+        for t in tokens {
+            if t != 0 {
+                self.token_done.entry(now + lat).or_default().push(t);
+            }
+        }
+    }
+
+    fn complete_token_part(&mut self, token: u64) {
+        let Some(tok) = self.tokens.get_mut(&token) else {
+            return;
+        };
+        tok.remaining -= 1;
+        if tok.remaining == 0 {
+            let tok = self.tokens.remove(&token).expect("token exists");
+            if let Some(w) = self.warps[tok.slot].as_mut() {
+                w.release_regs(&tok.regs);
+                w.outstanding_mem -= 1;
+            }
+        }
+    }
+
+    /// One core clock cycle. `ctx` provides functional memory and graphics
+    /// surfaces for whatever warps run here.
+    pub fn cycle(&mut self, now: Cycle, ctx: &mut dyn ExecCtx) {
+        self.stats.cycles += 1;
+
+        // 1. Writebacks due this cycle.
+        let due: Vec<Cycle> = self
+            .reg_release
+            .range(..=now)
+            .map(|(c, _)| *c)
+            .collect();
+        for c in due {
+            for (slot, regs) in self.reg_release.remove(&c).expect("key exists") {
+                if let Some(w) = self.warps[slot].as_mut() {
+                    w.release_regs(&regs);
+                }
+            }
+        }
+        let due: Vec<Cycle> = self.token_done.range(..=now).map(|(c, _)| *c).collect();
+        for c in due {
+            for t in self.token_done.remove(&c).expect("key exists") {
+                self.complete_token_part(t);
+            }
+        }
+
+        // 2. LSU: one line access per cycle per LSU port (2 ports).
+        for _ in 0..2 {
+            let Some(p) = self.lsu.front().copied() else {
+                break;
+            };
+            match p.surface {
+                Surface::Shared => {
+                    self.lsu.pop_front();
+                    if p.token != 0 {
+                        self.token_done
+                            .entry(now + self.cfg.smem_latency as Cycle)
+                            .or_default()
+                            .push(p.token);
+                    }
+                }
+                surface => {
+                    let core = self.id.0;
+                    let cache = self.cache_mut(surface);
+                    let hit_lat = cache.config().hit_latency as Cycle;
+                    match cache.access(p.line, p.kind, p.token, now) {
+                        Access::Hit => {
+                            self.lsu.pop_front();
+                            if p.kind == AccessKind::Read && p.token != 0 {
+                                self.token_done
+                                    .entry(now + hit_lat)
+                                    .or_default()
+                                    .push(p.token);
+                            } else if p.token != 0 {
+                                // Tracked write that hit: complete now.
+                                self.token_done.entry(now + hit_lat).or_default().push(p.token);
+                            }
+                        }
+                        Access::Miss { writeback } => {
+                            self.lsu.pop_front();
+                            self.miss_out.push_back(L1Miss {
+                                core,
+                                surface,
+                                line: p.line,
+                                kind: AccessKind::Read,
+                            });
+                            if let Some(wb) = writeback {
+                                self.miss_out.push_back(L1Miss {
+                                    core,
+                                    surface,
+                                    line: wb,
+                                    kind: AccessKind::Write,
+                                });
+                            }
+                        }
+                        Access::MergedMiss => {
+                            self.lsu.pop_front();
+                        }
+                        Access::WriteForward => {
+                            self.lsu.pop_front();
+                            self.miss_out.push_back(L1Miss {
+                                core,
+                                surface,
+                                line: p.line,
+                                kind: AccessKind::Write,
+                            });
+                            if p.token != 0 {
+                                self.token_done.entry(now + hit_lat).or_default().push(p.token);
+                            }
+                        }
+                        Access::Stall(_) => {
+                            // Head-of-line blocks this cycle.
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Issue from each scheduler.
+        let mut issued_any = false;
+        for s in 0..self.cfg.schedulers_per_core {
+            if let Some(slot) = self.pick_warp(s) {
+                self.issue(slot, now, ctx);
+                self.last_greedy[s] = Some(slot);
+                issued_any = true;
+            } else {
+                self.last_greedy[s] = None;
+            }
+        }
+        if issued_any {
+            self.stats.active_cycles += 1;
+        }
+
+        // 4. Retire finished warps.
+        for slot in 0..self.warps.len() {
+            let retire = self.warps[slot]
+                .as_ref()
+                .is_some_and(|w| w.is_finished());
+            if retire {
+                let w = self.warps[slot].take().expect("warp exists");
+                self.used_regs -= Self::reg_demand(&w.program);
+                self.finished.push(w.tag);
+                self.stats.warps_retired += 1;
+            }
+        }
+    }
+
+    fn warp_ready(&self, slot: usize) -> bool {
+        let Some(w) = self.warps[slot].as_ref() else {
+            return false;
+        };
+        if !w.can_issue() || w.has_hazard() {
+            return false;
+        }
+        // Memory instructions need LSU space (worst case one line/lane ×4).
+        let instr = w.program.instr(w.stack.pc());
+        if instr.op.latency_class() == LatencyClass::Mem && self.lsu.len() >= self.cfg.lsu_entries
+        {
+            return false;
+        }
+        true
+    }
+
+    /// Warp selection for scheduler `s` per the configured policy.
+    fn pick_warp(&self, s: usize) -> Option<usize> {
+        match self.cfg.warp_sched {
+            WarpSched::Gto => {
+                // Greedy: stick with the last warp while it stays ready.
+                if let Some(slot) = self.last_greedy[s] {
+                    if self.warp_ready(slot) {
+                        return Some(slot);
+                    }
+                }
+                // Fallback: the oldest ready warp not taken by an earlier
+                // scheduler this cycle.
+                let mut best: Option<usize> = None;
+                for slot in 0..self.warps.len() {
+                    if !self.warp_ready(slot) || self.last_greedy[..s].contains(&Some(slot)) {
+                        continue;
+                    }
+                    best = match best {
+                        None => Some(slot),
+                        Some(b) if self.seq[slot] < self.seq[b] => Some(slot),
+                        b => b,
+                    };
+                }
+                best
+            }
+            WarpSched::Lrr => {
+                // Rotate: first ready slot after the last issued one.
+                let n = self.warps.len();
+                let start = self.last_greedy[s].map_or(0, |x| x + 1);
+                for off in 0..n {
+                    let slot = (start + off) % n;
+                    if self.warp_ready(slot) && !self.last_greedy[..s].contains(&Some(slot)) {
+                        return Some(slot);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn issue(&mut self, slot: usize, now: Cycle, ctx: &mut dyn ExecCtx) {
+        let w = self.warps[slot].as_mut().expect("warp in slot");
+        let pc = w.stack.pc();
+        let mask = w.stack.active_mask();
+        let program = w.program.clone();
+        let instr = program.instr(pc);
+        let res = execute(&program, pc, mask, &mut w.threads, &w.params.clone(), ctx);
+        w.instrs_issued += 1;
+        self.stats.issued += 1;
+
+        if res.killed != 0 {
+            w.stack.retire_lanes(res.killed);
+        }
+
+        match res.outcome {
+            Outcome::Next => {
+                if !w.stack.is_done() && w.stack.pc() == pc {
+                    w.stack.advance();
+                }
+            }
+            Outcome::Branch { taken } => {
+                if let Op::Bra { target, reconv } = instr.op {
+                    w.stack.branch(taken, target, reconv);
+                } else {
+                    unreachable!("branch outcome from non-branch op");
+                }
+            }
+            Outcome::Exit => {
+                w.stack.exit_path();
+            }
+            Outcome::Barrier => {
+                w.stack.advance();
+                w.at_barrier = true;
+                if let Some((k, cta, warps_in_cta)) = w.cta_group {
+                    let count = self.barriers.entry((k, cta)).or_insert(0);
+                    *count += 1;
+                    if *count >= warps_in_cta {
+                        self.barriers.remove(&(k, cta));
+                        for other in self.warps.iter_mut().flatten() {
+                            if other.cta_group.map(|(ok, oc, _)| (ok, oc)) == Some((k, cta)) {
+                                other.at_barrier = false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Timing: destination registers and memory tokens.
+        let dsts = instr.op.dst_regs();
+        match instr.op.latency_class() {
+            LatencyClass::Alu | LatencyClass::Control => {
+                if !dsts.is_empty() {
+                    let w = self.warps[slot].as_mut().expect("warp in slot");
+                    w.acquire_regs(&dsts);
+                    self.reg_release
+                        .entry(now + self.cfg.alu_latency as Cycle)
+                        .or_default()
+                        .push((slot, dsts.iter().map(|r| r.0).collect()));
+                }
+            }
+            LatencyClass::Sfu => {
+                if !dsts.is_empty() {
+                    let w = self.warps[slot].as_mut().expect("warp in slot");
+                    w.acquire_regs(&dsts);
+                    self.reg_release
+                        .entry(now + self.cfg.sfu_latency as Cycle)
+                        .or_default()
+                        .push((slot, dsts.iter().map(|r| r.0).collect()));
+                }
+            }
+            LatencyClass::Mem => {
+                self.stats.mem_instrs += 1;
+                // Coalesce per-lane accesses into unique line accesses.
+                let mut lines: Vec<PendingLine> = Vec::new();
+                let mut tracked = 0u32;
+                let line_of = |surface: Surface, addr: Addr| -> Addr {
+                    let lb = match surface {
+                        Surface::Shared => 128u64,
+                        Surface::Data => self.l1d.config().line_bytes as u64,
+                        Surface::Texture => self.l1t.config().line_bytes as u64,
+                        Surface::Depth => self.l1z.config().line_bytes as u64,
+                        Surface::ConstVertex => self.l1c.config().line_bytes as u64,
+                    };
+                    addr & !(lb - 1)
+                };
+                let token = self.next_token;
+                for a in &res.accesses {
+                    let line = line_of(a.surface, a.addr);
+                    if let Some(existing) = lines
+                        .iter_mut()
+                        .find(|l| l.surface == a.surface && l.line == line)
+                    {
+                        // Upgrade to read if both kinds touch the line: the
+                        // read tracks completion; the write rides along.
+                        if a.kind == AccessKind::Read && existing.kind == AccessKind::Write {
+                            existing.kind = AccessKind::Read;
+                            existing.token = token;
+                            tracked += 1;
+                        }
+                        continue;
+                    }
+                    let is_read = a.kind == AccessKind::Read;
+                    lines.push(PendingLine {
+                        token: if is_read { token } else { 0 },
+                        surface: a.surface,
+                        line,
+                        kind: a.kind,
+                    });
+                    if is_read {
+                        tracked += 1;
+                    }
+                }
+                if tracked > 0 {
+                    self.next_token += 1;
+                    let w = self.warps[slot].as_mut().expect("warp in slot");
+                    w.acquire_regs(&dsts);
+                    w.outstanding_mem += 1;
+                    self.tokens.insert(
+                        token,
+                        MemToken {
+                            slot,
+                            regs: dsts.iter().map(|r| r.0).collect(),
+                            remaining: tracked,
+                        },
+                    );
+                }
+                self.lsu.extend(lines);
+            }
+        }
+
+        // Exit bookkeeping.
+        let w = self.warps[slot].as_mut().expect("warp in slot");
+        if w.stack.is_done() {
+            w.exited = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::GlobalMemCtx;
+    use emerald_isa::{assemble, ThreadState};
+    use emerald_mem::image::SharedMem;
+    use std::rc::Rc;
+
+    fn core() -> SimtCore {
+        SimtCore::new(CoreId(0), &GpuConfig::tiny())
+    }
+
+    fn run(core: &mut SimtCore, ctx: &mut GlobalMemCtx, max: Cycle) -> Cycle {
+        let mut now = 0;
+        while !(core.is_idle()) {
+            core.cycle(now, ctx);
+            now += 1;
+            assert!(now < max, "core did not finish in {max} cycles");
+        }
+        now
+    }
+
+    fn launch_simple(core: &mut SimtCore, src: &str, n_threads: usize) {
+        let p = Rc::new(assemble(src).unwrap());
+        let w = Warp::new(
+            vec![ThreadState::new(); n_threads],
+            p,
+            vec![],
+            WarpTag::External(7),
+        );
+        core.launch(w).unwrap();
+    }
+
+    #[test]
+    fn trivial_warp_retires() {
+        let mut c = core();
+        let mem = SharedMem::with_capacity(1 << 16);
+        let mut ctx = GlobalMemCtx::new(mem);
+        launch_simple(&mut c, "mov.b32 r0, %laneid\nexit", 32);
+        run(&mut c, &mut ctx, 1000);
+        assert_eq!(c.pop_finished(), Some(WarpTag::External(7)));
+        assert_eq!(c.stats().warps_retired, 1);
+        assert_eq!(c.stats().issued, 2);
+    }
+
+    #[test]
+    fn alu_latency_stalls_dependent_instruction() {
+        // r1 depends on r0 (latency 4) so total cycles > instruction count.
+        let mut c = core();
+        let mem = SharedMem::with_capacity(1 << 16);
+        let mut ctx = GlobalMemCtx::new(mem);
+        launch_simple(
+            &mut c,
+            "add.f32 r0, 1.0, 2.0\nadd.f32 r1, r0, 1.0\nexit",
+            32,
+        );
+        let cycles = run(&mut c, &mut ctx, 1000);
+        assert!(cycles >= 4, "dependent add must wait for writeback");
+    }
+
+    #[test]
+    fn memory_load_roundtrip() {
+        let mem = SharedMem::with_capacity(1 << 20);
+        mem.write_u32(0x1000, 99);
+        let mut ctx = GlobalMemCtx::new(mem);
+        let mut c = core();
+        launch_simple(
+            &mut c,
+            "mov.b32 r1, 0x1000\nld.global.b32 r0, [r1+0]\nadd.u32 r2, r0, 1\nst.global.b32 [r1+4], r2\nexit",
+            1,
+        );
+        // Pump core + manually satisfy misses as if L2 answered instantly.
+        let mut now = 0;
+        while !c.is_idle() {
+            c.cycle(now, &mut ctx);
+            while let Some(m) = c.pop_miss() {
+                if m.kind == AccessKind::Read {
+                    c.fill_l1(m.surface, m.line, now + 20);
+                }
+            }
+            now += 1;
+            assert!(now < 10_000);
+        }
+        assert_eq!(ctx.mem().read_u32(0x1004), 100);
+        assert_eq!(c.pop_finished(), Some(WarpTag::External(7)));
+    }
+
+    #[test]
+    fn divergent_branch_executes_both_paths() {
+        let mem = SharedMem::with_capacity(1 << 20);
+        let mut ctx = GlobalMemCtx::new(mem);
+        let mut c = core();
+        let src = "
+            mov.b32 r0, %laneid
+            setp.lt.s32 p0, r0, 2
+            @!p0 bra ELSE, reconv=DONE
+            mov.b32 r1, 111
+            bra DONE, reconv=DONE
+            ELSE:
+            mov.b32 r1, 222
+            DONE:
+            shl.u32 r2, r0, 2
+            add.u32 r2, r2, 0x2000
+            st.global.b32 [r2+0], r1
+            exit";
+        launch_simple(&mut c, src, 4);
+        let mut now = 0;
+        while !c.is_idle() {
+            c.cycle(now, &mut ctx);
+            while let Some(m) = c.pop_miss() {
+                if m.kind == AccessKind::Read {
+                    c.fill_l1(m.surface, m.line, now);
+                }
+            }
+            now += 1;
+            assert!(now < 10_000);
+        }
+        let mem = ctx.mem();
+        assert_eq!(mem.read_u32(0x2000), 111);
+        assert_eq!(mem.read_u32(0x2004), 111);
+        assert_eq!(mem.read_u32(0x2008), 222);
+        assert_eq!(mem.read_u32(0x200c), 222);
+    }
+
+    #[test]
+    fn coalescing_reduces_line_accesses() {
+        // 32 lanes × consecutive words = 32 accesses but only 1 line.
+        let mem = SharedMem::with_capacity(1 << 20);
+        let mut ctx = GlobalMemCtx::new(mem);
+        let mut c = core();
+        launch_simple(
+            &mut c,
+            "mov.b32 r0, %laneid\nshl.u32 r1, r0, 2\nadd.u32 r1, r1, 0x1000\nld.global.b32 r2, [r1+0]\nexit",
+            32,
+        );
+        let mut fills = 0;
+        let mut now = 0;
+        while !c.is_idle() {
+            c.cycle(now, &mut ctx);
+            while let Some(m) = c.pop_miss() {
+                if m.kind == AccessKind::Read {
+                    fills += 1;
+                    c.fill_l1(m.surface, m.line, now);
+                }
+            }
+            now += 1;
+            assert!(now < 10_000);
+        }
+        assert_eq!(fills, 1, "perfectly coalesced load = one line fill");
+    }
+
+    #[test]
+    fn regfile_capacity_limits_launch() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.regs_per_core = 64; // one warp with 2 regs = 64 register demand
+        let mut c = SimtCore::new(CoreId(0), &cfg);
+        let p = Rc::new(assemble("mov.b32 r1, 0\nexit").unwrap());
+        let mk = || {
+            Warp::new(
+                vec![ThreadState::new(); 32],
+                p.clone(),
+                vec![],
+                WarpTag::External(0),
+            )
+        };
+        assert!(c.launch(mk()).is_ok());
+        assert!(c.launch(mk()).is_err(), "register file exhausted");
+        assert!(!c.can_accept(&p));
+    }
+
+    #[test]
+    fn greedy_scheduler_sticks_with_warp() {
+        // Two warps; with GTO the first should finish no later than a
+        // round-robin interleave would allow.
+        let mem = SharedMem::with_capacity(1 << 16);
+        let mut ctx = GlobalMemCtx::new(mem);
+        let mut c = core();
+        for _ in 0..2 {
+            launch_simple(&mut c, "mov.b32 r0, 0\nmov.b32 r1, 1\nmov.b32 r2, 2\nexit", 32);
+        }
+        run(&mut c, &mut ctx, 1000);
+        assert_eq!(c.stats().warps_retired, 2);
+        assert_eq!(c.stats().issued, 8);
+    }
+}

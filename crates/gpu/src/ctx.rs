@@ -1,0 +1,110 @@
+//! Functional execution context for compute (GPGPU) workloads.
+
+use emerald_common::types::Addr;
+use emerald_isa::op::MemSpace;
+use emerald_isa::ExecCtx;
+use emerald_mem::image::SharedMem;
+
+/// An [`ExecCtx`] backed by the shared memory image, with a flat scratchpad
+/// for `MemSpace::Shared`. Graphics instructions are inert (they return
+/// constants), which is fine for compute kernels; the graphics pipeline in
+/// `emerald-core` provides its own context with live surfaces.
+#[derive(Debug, Clone)]
+pub struct GlobalMemCtx {
+    mem: SharedMem,
+    scratch: Vec<u8>,
+}
+
+impl GlobalMemCtx {
+    /// Wraps the memory image with an empty scratchpad.
+    pub fn new(mem: SharedMem) -> Self {
+        Self {
+            mem,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The underlying shared memory image.
+    pub fn mem(&self) -> &SharedMem {
+        &self.mem
+    }
+
+    fn scratch_u32(&mut self, addr: Addr) -> u32 {
+        let i = addr as usize;
+        if i + 4 > self.scratch.len() {
+            return 0;
+        }
+        u32::from_le_bytes([
+            self.scratch[i],
+            self.scratch[i + 1],
+            self.scratch[i + 2],
+            self.scratch[i + 3],
+        ])
+    }
+
+    fn scratch_write_u32(&mut self, addr: Addr, v: u32) {
+        let i = addr as usize;
+        if i + 4 > self.scratch.len() {
+            self.scratch.resize((i + 4).next_power_of_two(), 0);
+        }
+        self.scratch[i..i + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl ExecCtx for GlobalMemCtx {
+    fn load(&mut self, space: MemSpace, addr: Addr) -> u32 {
+        match space {
+            MemSpace::Shared => self.scratch_u32(addr),
+            _ => self.mem.read_u32(addr),
+        }
+    }
+
+    fn store(&mut self, space: MemSpace, addr: Addr, value: u32) {
+        match space {
+            MemSpace::Shared => self.scratch_write_u32(addr, value),
+            _ => self.mem.write_u32(addr, value),
+        }
+    }
+
+    fn tex2d(&mut self, _: u8, _: f32, _: f32, _: &mut Vec<Addr>) -> [f32; 4] {
+        [0.0; 4]
+    }
+
+    fn ztest(&mut self, _: u32, _: u32, _: f32, _: bool) -> (bool, Addr) {
+        (true, 0)
+    }
+
+    fn blend(&mut self, _: u32, _: u32, src: [f32; 4]) -> ([f32; 4], Addr) {
+        (src, 0)
+    }
+
+    fn fb_write(&mut self, _: u32, _: u32, _: [f32; 4]) -> Addr {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_roundtrip() {
+        let mem = SharedMem::with_capacity(4096);
+        let mut ctx = GlobalMemCtx::new(mem);
+        ctx.store(MemSpace::Global, 512, 42);
+        assert_eq!(ctx.load(MemSpace::Global, 512), 42);
+        // Const/vertex alias the same image.
+        assert_eq!(ctx.load(MemSpace::Const, 512), 42);
+    }
+
+    #[test]
+    fn shared_is_separate_from_global() {
+        let mem = SharedMem::with_capacity(4096);
+        let mut ctx = GlobalMemCtx::new(mem);
+        ctx.store(MemSpace::Shared, 512, 7);
+        assert_eq!(ctx.load(MemSpace::Shared, 512), 7);
+        assert_eq!(ctx.load(MemSpace::Global, 512), 0);
+        // Unwritten shared reads as zero.
+        assert_eq!(ctx.load(MemSpace::Shared, 9000), 0);
+    }
+}

@@ -1,0 +1,549 @@
+//! The assembled GPU: SIMT cores grouped in clusters, the intra-GPU
+//! interconnect, the banked shared L2, the compute dispatcher, and the
+//! port to external memory (Fig. 4 of the paper).
+
+use crate::config::GpuConfig;
+use crate::core::{L1Miss, SimtCore};
+use crate::kernel::{Kernel, KernelState, INPUT_SHARED_BASE};
+use crate::l2::{L1Target, L2};
+use crate::warp::{Warp, WarpTag};
+use emerald_common::types::{AccessKind, Addr, CoreId, Cycle, TrafficSource};
+use emerald_isa::ExecCtx;
+use emerald_mem::link::Link;
+use emerald_mem::req::{MemRequest, MemResponse, ReqIdGen};
+use emerald_mem::system::MemorySystem;
+use std::collections::{HashMap, VecDeque};
+
+/// The GPU's connection to external memory (standalone DRAM or an SoC NoC).
+pub trait MemPort {
+    /// Advances the backing memory one cycle.
+    fn tick(&mut self, now: Cycle);
+
+    /// Attempts to send a request; hands it back on backpressure.
+    fn try_send(&mut self, req: MemRequest, now: Cycle) -> Result<(), MemRequest>;
+
+    /// Receives the next completed read response, if any.
+    fn recv(&mut self, now: Cycle) -> Option<MemResponse>;
+}
+
+/// Standalone-mode memory port: the GPU talks straight to a
+/// [`MemorySystem`] (case study II's configuration).
+#[derive(Debug)]
+pub struct SimpleMemPort {
+    /// The backing DRAM system (public for stats inspection).
+    pub mem: MemorySystem,
+    responses: VecDeque<MemResponse>,
+}
+
+impl SimpleMemPort {
+    /// Wraps a memory system.
+    pub fn new(mem: MemorySystem) -> Self {
+        Self {
+            mem,
+            responses: VecDeque::new(),
+        }
+    }
+}
+
+impl MemPort for SimpleMemPort {
+    fn tick(&mut self, now: Cycle) {
+        self.mem.tick(now);
+        for r in self.mem.drain_finished(now) {
+            self.responses.push_back(r);
+        }
+    }
+
+    fn try_send(&mut self, req: MemRequest, now: Cycle) -> Result<(), MemRequest> {
+        self.mem.enqueue(req, now)
+    }
+
+    fn recv(&mut self, _now: Cycle) -> Option<MemResponse> {
+        self.responses.pop_front()
+    }
+}
+
+/// GPU-level aggregate statistics.
+#[derive(Debug, Default, Clone)]
+pub struct GpuStats {
+    /// Total instructions issued across cores.
+    pub issued: u64,
+    /// Total warps retired.
+    pub warps_retired: u64,
+    /// DRAM read requests sent.
+    pub mem_reads: u64,
+    /// DRAM writes sent.
+    pub mem_writes: u64,
+}
+
+/// The full GPU.
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    cores: Vec<SimtCore>,
+    l2: L2,
+    core_to_l2: Link<L1Miss>,
+    l2_to_core: Link<(L1Target, Addr)>,
+    /// Fill notifications that could not enter `l2_to_core` this cycle;
+    /// retried before new traffic so none are ever lost.
+    fill_backlog: VecDeque<(L1Target, Addr)>,
+    to_mem: VecDeque<(Addr, AccessKind)>,
+    dram_pending: HashMap<u64, Addr>,
+    ids: ReqIdGen,
+    kernels: Vec<KernelState>,
+    cta_cursor: usize,
+    finished_external: Vec<(CoreId, u64)>,
+    stats: GpuStats,
+}
+
+impl Gpu {
+    /// Builds a GPU from its configuration.
+    pub fn new(cfg: GpuConfig) -> Self {
+        let cores = (0..cfg.total_cores())
+            .map(|i| SimtCore::new(CoreId(i), &cfg))
+            .collect();
+        let l2 = L2::new(&cfg.l2, cfg.l2_banks);
+        Self {
+            core_to_l2: Link::new(cfg.icnt_latency, cfg.icnt_per_cycle, 256),
+            l2_to_core: Link::new(cfg.icnt_latency, cfg.icnt_per_cycle * 2, 512),
+            fill_backlog: VecDeque::new(),
+            to_mem: VecDeque::new(),
+            dram_pending: HashMap::new(),
+            ids: ReqIdGen::new(),
+            kernels: Vec::new(),
+            cta_cursor: 0,
+            finished_external: Vec::new(),
+            stats: GpuStats::default(),
+            cores,
+            l2,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Number of SIMT cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Cluster index of a core (cores are laid out cluster-major).
+    pub fn cluster_of(&self, core: usize) -> usize {
+        core / self.cfg.cores_per_cluster
+    }
+
+    /// Immutable core access.
+    pub fn core(&self, i: usize) -> &SimtCore {
+        &self.cores[i]
+    }
+
+    /// Mutable core access (the graphics pipeline launches warps directly).
+    pub fn core_mut(&mut self, i: usize) -> &mut SimtCore {
+        &mut self.cores[i]
+    }
+
+    /// The shared L2 (stats).
+    pub fn l2(&self) -> &L2 {
+        &self.l2
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &GpuStats {
+        &self.stats
+    }
+
+    /// Resets core/L2/GPU statistics (cache contents survive).
+    pub fn reset_stats(&mut self) {
+        self.stats = GpuStats::default();
+        for c in &mut self.cores {
+            c.reset_stats();
+        }
+        self.l2.reset_stats();
+    }
+
+    /// Queues a compute kernel; returns its id.
+    pub fn launch_kernel(&mut self, kernel: Kernel) -> usize {
+        self.kernels.push(KernelState::new(kernel));
+        self.kernels.len() - 1
+    }
+
+    /// True when kernel `id` has fully retired.
+    pub fn kernel_done(&self, id: usize) -> bool {
+        self.kernels.get(id).is_none_or(|k| k.is_done())
+    }
+
+    /// Finished externally-launched warps: `(core, tag payload)`.
+    pub fn drain_external_finished(&mut self) -> Vec<(CoreId, u64)> {
+        std::mem::take(&mut self.finished_external)
+    }
+
+    /// True when every core, link and kernel is drained.
+    pub fn is_idle(&self) -> bool {
+        self.cores.iter().all(|c| c.is_idle())
+            && self.core_to_l2.is_empty()
+            && self.l2_to_core.is_empty()
+            && self.fill_backlog.is_empty()
+            && self.to_mem.is_empty()
+            && self.dram_pending.is_empty()
+            && self.l2.queued() == 0
+            && self.kernels.iter().all(|k| k.is_done())
+    }
+
+    fn dispatch_ctas(&mut self) {
+        for ki in 0..self.kernels.len() {
+            loop {
+                let (grid, warps_per_cta, shared_bytes) = {
+                    let ks = &self.kernels[ki];
+                    (
+                        ks.kernel.grid_ctas,
+                        ks.kernel.warps_per_cta(),
+                        ks.kernel.shared_bytes,
+                    )
+                };
+                if self.kernels[ki].next_cta >= grid {
+                    break;
+                }
+                // Find a core with room for the whole CTA.
+                let n = self.cores.len();
+                let mut placed = false;
+                for off in 0..n {
+                    let ci = (self.cta_cursor + off) % n;
+                    let program = self.kernels[ki].kernel.program.clone();
+                    let fits = {
+                        let core = &self.cores[ci];
+                        core.occupancy() + warps_per_cta <= self.cfg.max_warps_per_core
+                            && core.can_accept(&program)
+                    };
+                    if !fits {
+                        continue;
+                    }
+                    let cta = self.kernels[ki].next_cta;
+                    let shared_base = self.kernels[ki].next_shared_base;
+                    let mut all_ok = true;
+                    for w in 0..warps_per_cta {
+                        let ks = &self.kernels[ki];
+                        let threads = ks.kernel.threads_for_warp(cta, w, shared_base);
+                        let mut warp = Warp::new(
+                            threads,
+                            ks.kernel.program.clone(),
+                            ks.kernel.params.clone(),
+                            WarpTag::Compute { kernel: ki, cta },
+                        );
+                        warp.cta_group = Some((ki, cta, warps_per_cta));
+                        if self.cores[ci].launch(warp).is_err() {
+                            all_ok = false;
+                            break;
+                        }
+                        self.kernels[ki].warps_outstanding += 1;
+                    }
+                    if all_ok {
+                        self.kernels[ki].next_cta += 1;
+                        self.kernels[ki].next_shared_base +=
+                            (shared_bytes + 255) & !255;
+                        self.cta_cursor = (ci + 1) % n;
+                        placed = true;
+                    }
+                    break;
+                }
+                if !placed {
+                    break;
+                }
+            }
+        }
+        let _ = INPUT_SHARED_BASE; // convention documented in kernel.rs
+    }
+
+    /// Advances the whole GPU one cycle.
+    pub fn cycle(&mut self, now: Cycle, ctx: &mut dyn ExecCtx, port: &mut dyn MemPort) {
+        port.tick(now);
+        self.dispatch_ctas();
+
+        // 1. Cores execute.
+        for core in &mut self.cores {
+            core.cycle(now, ctx);
+        }
+
+        // 2. Core misses → interconnect → L2 banks.
+        for ci in 0..self.cores.len() {
+            while self.cores[ci].has_miss() {
+                let m = self.cores[ci].pop_miss().expect("has_miss");
+                if let Err(back) = self.core_to_l2.push(now, m) {
+                    // Bandwidth/capacity exhausted: requeue and stop.
+                    self.cores[ci].push_miss_front(back);
+                    break;
+                }
+            }
+        }
+        while let Some(m) = self.core_to_l2.pop(now) {
+            self.l2.enqueue(m);
+        }
+
+        // 3. L2 banks service. Fill notifications must never be lost
+        // (a lost fill wedges an L1 MSHR forever), so rejected pushes go
+        // to a retry backlog drained first.
+        while let Some(f) = self.fill_backlog.pop_front() {
+            if let Err(back) = self.l2_to_core.push(now, f) {
+                self.fill_backlog.push_front(back);
+                break;
+            }
+        }
+        let out = self.l2.cycle(now);
+        for (target, line) in out.to_cores {
+            if let Err(back) = self.l2_to_core.push(now, (target, line)) {
+                self.fill_backlog.push_back(back);
+            }
+        }
+        for (line, kind) in out.to_mem {
+            self.to_mem.push_back((line, kind));
+        }
+
+        // 4. L2 ↔ DRAM.
+        while let Some((line, kind)) = self.to_mem.front().copied() {
+            let id = self.ids.next_id();
+            let req = MemRequest {
+                id,
+                addr: line,
+                bytes: self.cfg.l2.line_bytes as u32,
+                kind,
+                source: TrafficSource::Gpu,
+                issued: now,
+            };
+            match port.try_send(req, now) {
+                Ok(()) => {
+                    self.to_mem.pop_front();
+                    if kind == AccessKind::Read {
+                        self.dram_pending.insert(id, line);
+                        self.stats.mem_reads += 1;
+                    } else {
+                        self.stats.mem_writes += 1;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        while let Some(resp) = port.recv(now) {
+            if let Some(line) = self.dram_pending.remove(&resp.id) {
+                for (target, l) in self.l2.fill(line) {
+                    if let Err(back) = self.l2_to_core.push(now, (target, l)) {
+                        self.fill_backlog.push_back(back);
+                    }
+                }
+            }
+        }
+
+        // 5. Fills back to the cores.
+        while let Some((target, line)) = self.l2_to_core.pop(now) {
+            self.cores[target.core].fill_l1(target.surface, line, now);
+        }
+
+        // 6. Completed warps.
+        for core in &mut self.cores {
+            while let Some(tag) = core.pop_finished() {
+                self.stats.warps_retired += 1;
+                match tag {
+                    WarpTag::Compute { kernel, .. } => {
+                        self.kernels[kernel].warps_outstanding -= 1;
+                    }
+                    WarpTag::External(payload) => {
+                        self.finished_external.push((core.id, payload));
+                    }
+                }
+            }
+        }
+        self.stats.issued = self.cores.iter().map(|c| c.stats().issued).sum();
+    }
+
+    /// One-line internal state summary (diagnostics).
+    pub fn debug_snapshot(&self) -> String {
+        format!(
+            "c2l={} l2c={} backlog={} to_mem={} dram_pend={} l2_q={} core0[{}] core2[{}]",
+            self.core_to_l2.len(),
+            self.l2_to_core.len(),
+            self.fill_backlog.len(),
+            self.to_mem.len(),
+            self.dram_pending.len(),
+            self.l2.queued(),
+            self.cores[0].debug_snapshot(),
+            self.cores[2].debug_snapshot(),
+        )
+    }
+
+    /// Runs until idle or `max_cycles`, returning the cycles consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GPU fails to drain within `max_cycles` (a deadlock in
+    /// the model, which tests should catch loudly).
+    pub fn run_to_idle(
+        &mut self,
+        start: Cycle,
+        max_cycles: Cycle,
+        ctx: &mut dyn ExecCtx,
+        port: &mut dyn MemPort,
+    ) -> Cycle {
+        let mut now = start;
+        while !self.is_idle() {
+            self.cycle(now, ctx, port);
+            now += 1;
+            assert!(
+                now - start < max_cycles,
+                "GPU did not drain within {max_cycles} cycles"
+            );
+        }
+        now - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::GlobalMemCtx;
+    use emerald_isa::assemble;
+    use emerald_mem::dram::DramConfig;
+    use emerald_mem::image::SharedMem;
+    use emerald_mem::system::MemorySystemConfig;
+    use std::rc::Rc;
+
+    fn setup() -> (Gpu, GlobalMemCtx, SimpleMemPort) {
+        let gpu = Gpu::new(GpuConfig::tiny());
+        let mem = SharedMem::with_capacity(1 << 22);
+        let ctx = GlobalMemCtx::new(mem);
+        let port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
+            2,
+            DramConfig::lpddr3_1600(),
+        )));
+        (gpu, ctx, port)
+    }
+
+    #[test]
+    fn saxpy_kernel_end_to_end() {
+        let (mut gpu, mut ctx, mut port) = setup();
+        let n = 256usize;
+        let x_base = ctx.mem().alloc((n * 4) as u64, 128);
+        let y_base = ctx.mem().alloc((n * 4) as u64, 128);
+        for i in 0..n {
+            ctx.mem().write_f32(x_base + (i * 4) as u64, i as f32);
+            ctx.mem().write_f32(y_base + (i * 4) as u64, 1.0);
+        }
+        // y[i] = a*x[i] + y[i]
+        let src = "
+            mov.b32 r0, %input0
+            shl.u32 r1, r0, 2
+            add.u32 r2, r1, %param0
+            add.u32 r3, r1, %param1
+            ld.global.b32 r4, [r2+0]
+            ld.global.b32 r5, [r3+0]
+            mov.b32 r6, %param2
+            mad.f32 r7, r6, r4, r5
+            st.global.b32 [r3+0], r7
+            exit";
+        let prog = Rc::new(assemble(src).unwrap());
+        let k = Kernel::linear(
+            prog,
+            n,
+            64,
+            vec![x_base as u32, y_base as u32, 2.0f32.to_bits()],
+        );
+        let id = gpu.launch_kernel(k);
+        gpu.run_to_idle(0, 2_000_000, &mut ctx, &mut port);
+        assert!(gpu.kernel_done(id));
+        for i in 0..n {
+            let y = ctx.mem().read_f32(y_base + (i * 4) as u64);
+            assert_eq!(y, 2.0 * i as f32 + 1.0, "y[{i}]");
+        }
+        assert!(gpu.stats().mem_reads > 0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_cta() {
+        let (mut gpu, mut ctx, mut port) = setup();
+        let buf = ctx.mem().alloc(4096, 128);
+        // Warp 0 stores, all warps barrier, then every thread reads the
+        // value written by thread 0 and copies it out.
+        let src = "
+            mov.b32 r0, %input2     // tid in cta
+            setp.eq.s32 p0, r0, 0
+            mov.b32 r1, %param0
+            @p0 mov.b32 r2, 777
+            @p0 st.global.b32 [r1+0], r2
+            bar.sync
+            ld.global.b32 r3, [r1+0]
+            mov.b32 r4, %input0
+            shl.u32 r5, r4, 2
+            add.u32 r5, r5, %param1
+            st.global.b32 [r5+0], r3
+            exit";
+        let prog = Rc::new(assemble(src).unwrap());
+        let out = ctx.mem().alloc(4096, 128);
+        let k = Kernel::linear(prog, 128, 128, vec![buf as u32, out as u32]);
+        gpu.launch_kernel(k);
+        gpu.run_to_idle(0, 2_000_000, &mut ctx, &mut port);
+        for i in 0..128u64 {
+            assert_eq!(ctx.mem().read_u32(out + i * 4), 777, "thread {i}");
+        }
+    }
+
+    #[test]
+    fn multiple_ctas_spread_across_cores() {
+        let (mut gpu, mut ctx, mut port) = setup();
+        let src = "mov.b32 r0, %input0\nexit";
+        let prog = Rc::new(assemble(src).unwrap());
+        let k = Kernel::linear(prog, 512, 64, vec![]);
+        gpu.launch_kernel(k);
+        gpu.run_to_idle(0, 1_000_000, &mut ctx, &mut port);
+        for ci in 0..gpu.num_cores() {
+            assert!(
+                gpu.core(ci).stats().warps_launched > 0,
+                "core {ci} never used"
+            );
+        }
+    }
+
+    #[test]
+    fn external_warp_completion_is_reported() {
+        let (mut gpu, mut ctx, mut port) = setup();
+        let prog = Rc::new(assemble("mov.b32 r0, %laneid\nexit").unwrap());
+        let w = Warp::new(
+            vec![emerald_isa::ThreadState::new(); 32],
+            prog,
+            vec![],
+            WarpTag::External(0xBEEF),
+        );
+        gpu.core_mut(1).launch(w).unwrap();
+        gpu.run_to_idle(0, 100_000, &mut ctx, &mut port);
+        let done = gpu.drain_external_finished();
+        assert_eq!(done, vec![(CoreId(1), 0xBEEF)]);
+    }
+
+    #[test]
+    fn l2_absorbs_repeated_traffic() {
+        let (mut gpu, mut ctx, mut port) = setup();
+        // Two rounds of the same read-only kernel: the second round should
+        // produce fewer DRAM reads thanks to the L2 (L1s flushed between
+        // launches would be even stronger; we just compare totals).
+        let src = "
+            mov.b32 r0, %input0
+            and.u32 r0, r0, 63
+            shl.u32 r1, r0, 2
+            add.u32 r1, r1, %param0
+            ld.global.b32 r2, [r1+0]
+            exit";
+        let prog = Rc::new(assemble(src).unwrap());
+        let base = ctx.mem().alloc(4096, 128);
+        let k1 = Kernel::linear(prog.clone(), 256, 64, vec![base as u32]);
+        gpu.launch_kernel(k1);
+        gpu.run_to_idle(0, 1_000_000, &mut ctx, &mut port);
+        let reads_round1 = gpu.stats().mem_reads;
+        let k2 = Kernel::linear(prog, 256, 64, vec![base as u32]);
+        gpu.launch_kernel(k2);
+        gpu.run_to_idle(0, 1_000_000, &mut ctx, &mut port);
+        let reads_round2 = gpu.stats().mem_reads - reads_round1;
+        assert!(
+            reads_round2 <= reads_round1,
+            "round2={reads_round2} round1={reads_round1}"
+        );
+        assert!(gpu.l2().stats().fills > 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Resident warp state.
+
+use crate::simt::SimtStack;
+use emerald_isa::{Program, ThreadState};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Identifies what a finished warp belonged to, so the launcher (compute
+/// dispatcher or graphics pipeline) can account completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WarpTag {
+    /// A compute warp: `(kernel id, CTA index)`.
+    Compute {
+        /// Kernel launch id.
+        kernel: usize,
+        /// CTA (thread block) index within the grid.
+        cta: usize,
+    },
+    /// A warp launched by an external engine (the graphics pipeline);
+    /// the payload is interpreted by that engine.
+    External(u64),
+}
+
+/// A warp resident in a SIMT core.
+#[derive(Debug)]
+pub struct Warp {
+    /// Per-lane architectural state.
+    pub threads: Vec<ThreadState>,
+    /// Reconvergence stack.
+    pub stack: SimtStack,
+    /// The shader/kernel this warp runs.
+    pub program: Rc<Program>,
+    /// Uniform launch parameters.
+    pub params: Vec<u32>,
+    /// Owner bookkeeping tag.
+    pub tag: WarpTag,
+    /// Registers with in-flight writes → number of outstanding producers.
+    pub pending_regs: HashMap<u8, u32>,
+    /// Outstanding memory tokens (LSU completions we still wait on before
+    /// the warp may fully retire).
+    pub outstanding_mem: u32,
+    /// Waiting at a CTA barrier.
+    pub at_barrier: bool,
+    /// All paths retired (still occupies the slot until
+    /// `outstanding_mem == 0`).
+    pub exited: bool,
+    /// CTA barrier group: `(kernel, cta, warps_in_cta)`.
+    pub cta_group: Option<(usize, usize, usize)>,
+    /// Dynamic instructions issued (stats).
+    pub instrs_issued: u64,
+}
+
+impl Warp {
+    /// Creates a warp whose lanes `0..threads.len()` are active.
+    pub fn new(
+        threads: Vec<ThreadState>,
+        program: Rc<Program>,
+        params: Vec<u32>,
+        tag: WarpTag,
+    ) -> Self {
+        assert!(!threads.is_empty() && threads.len() <= 32);
+        let mask = if threads.len() == 32 {
+            u32::MAX
+        } else {
+            (1u32 << threads.len()) - 1
+        };
+        Self {
+            threads,
+            stack: SimtStack::new(mask),
+            program,
+            params,
+            tag,
+            pending_regs: HashMap::new(),
+            outstanding_mem: 0,
+            at_barrier: false,
+            exited: false,
+            cta_group: None,
+            instrs_issued: 0,
+        }
+    }
+
+    /// True when the warp has fully retired (no paths, no pending memory).
+    pub fn is_finished(&self) -> bool {
+        self.exited && self.outstanding_mem == 0
+    }
+
+    /// True when the scheduler may issue this warp's next instruction.
+    pub fn can_issue(&self) -> bool {
+        !self.exited && !self.at_barrier && !self.stack.is_done()
+    }
+
+    /// Scoreboard check: does the instruction at the current pc depend on a
+    /// register still being produced?
+    pub fn has_hazard(&self) -> bool {
+        if self.pending_regs.is_empty() {
+            return false;
+        }
+        let instr = self.program.instr(self.stack.pc());
+        instr
+            .op
+            .src_regs()
+            .iter()
+            .chain(instr.op.dst_regs().iter())
+            .any(|r| self.pending_regs.contains_key(&r.0))
+    }
+
+    /// Marks `regs` as having one more in-flight producer each.
+    pub fn acquire_regs(&mut self, regs: &[emerald_isa::Reg]) {
+        for r in regs {
+            *self.pending_regs.entry(r.0).or_insert(0) += 1;
+        }
+    }
+
+    /// Releases one producer for each of `regs` (writeback).
+    pub fn release_regs(&mut self, regs: &[u8]) {
+        for r in regs {
+            if let Some(n) = self.pending_regs.get_mut(r) {
+                *n -= 1;
+                if *n == 0 {
+                    self.pending_regs.remove(r);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emerald_isa::{assemble, Reg, ThreadState};
+
+    fn warp(src: &str) -> Warp {
+        Warp::new(
+            vec![ThreadState::new(); 4],
+            Rc::new(assemble(src).unwrap()),
+            vec![],
+            WarpTag::External(0),
+        )
+    }
+
+    #[test]
+    fn partial_warp_mask() {
+        let w = warp("exit");
+        assert_eq!(w.stack.active_mask(), 0xf);
+        let full = Warp::new(
+            vec![ThreadState::new(); 32],
+            Rc::new(assemble("exit").unwrap()),
+            vec![],
+            WarpTag::External(1),
+        );
+        assert_eq!(full.stack.active_mask(), u32::MAX);
+    }
+
+    #[test]
+    fn scoreboard_hazard_detection() {
+        let mut w = warp("add.f32 r2, r1, r0\nexit");
+        assert!(!w.has_hazard());
+        w.acquire_regs(&[Reg(1)]);
+        assert!(w.has_hazard()); // r1 is a source
+        w.release_regs(&[1]);
+        assert!(!w.has_hazard());
+        // WAW: pending r2 blocks too.
+        w.acquire_regs(&[Reg(2)]);
+        assert!(w.has_hazard());
+    }
+
+    #[test]
+    fn release_is_counted() {
+        let mut w = warp("add.f32 r2, r1, r0\nexit");
+        w.acquire_regs(&[Reg(1)]);
+        w.acquire_regs(&[Reg(1)]);
+        w.release_regs(&[1]);
+        assert!(w.has_hazard(), "second producer still pending");
+        w.release_regs(&[1]);
+        assert!(!w.has_hazard());
+    }
+
+    #[test]
+    fn finished_requires_memory_drain() {
+        let mut w = warp("exit");
+        w.exited = true;
+        w.outstanding_mem = 1;
+        assert!(!w.is_finished());
+        w.outstanding_mem = 0;
+        assert!(w.is_finished());
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_warp_rejected() {
+        let _ = Warp::new(
+            vec![ThreadState::new(); 33],
+            Rc::new(assemble("exit").unwrap()),
+            vec![],
+            WarpTag::External(0),
+        );
+    }
+}

@@ -1,0 +1,547 @@
+//! Set-associative caches with MSHRs.
+//!
+//! One cache type serves every level of the model: the per-SIMT-core L1
+//! instruction/data/texture/depth/constant caches of Table 2, the GPU's
+//! shared L2, and the CPU cores' L1/L2. The owner decides what sits below
+//! the cache (interconnect, DRAM) and drives it through the outcome values
+//! returned by [`Cache::access`] — the cache itself never owns other
+//! components, which keeps the hierarchy composable.
+
+use emerald_common::stats::Ratio;
+use emerald_common::types::{AccessKind, Addr, Cycle};
+use crate::req::ReqId;
+use std::collections::HashMap;
+
+/// Write handling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Write-back, write-allocate: write misses fetch the line; dirty
+    /// evictions produce writebacks (used for L1D/L1Z pixel data and L2).
+    WriteBackAllocate,
+    /// Write-through, no-allocate: writes are forwarded downstream; write
+    /// misses do not fill (classic GPGPU-Sim L1 behaviour for global data).
+    WriteThroughNoAllocate,
+}
+
+/// Static cache parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Name used in statistics dumps.
+    pub name: String,
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Cycles from access to data on a hit.
+    pub hit_latency: u32,
+    /// Number of outstanding missed lines tracked.
+    pub mshrs: usize,
+    /// Requests that can merge onto one missed line.
+    pub targets_per_mshr: usize,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+}
+
+impl CacheConfig {
+    /// A small write-back cache, convenient for tests.
+    pub fn small(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            size_bytes: 1 << 12,
+            line_bytes: 128,
+            ways: 4,
+            hit_latency: 1,
+            mshrs: 8,
+            targets_per_mshr: 8,
+            write_policy: WritePolicy::WriteBackAllocate,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+}
+
+/// Why an access could not be accepted this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// All MSHRs are in use.
+    MshrFull,
+    /// The matching MSHR has no free target slot.
+    MshrTargetsFull,
+    /// Every way in the set is reserved by an in-flight fill.
+    SetReserved,
+}
+
+/// Outcome of [`Cache::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Data available after `hit_latency`.
+    Hit,
+    /// New miss: the owner must forward a line fill (read) downstream and,
+    /// if `writeback` is set, also send the evicted dirty line down.
+    Miss {
+        /// Dirty victim line address to write back, if any.
+        writeback: Option<Addr>,
+    },
+    /// The line is already being fetched; this request was merged.
+    MergedMiss,
+    /// Write-through write: forward the write downstream; no fill.
+    WriteForward,
+    /// Structural hazard; retry next cycle.
+    Stall(StallReason),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Reserved for an in-flight fill.
+    pending: bool,
+    lru: u64,
+}
+
+impl Line {
+    const EMPTY: Line = Line {
+        tag: 0,
+        valid: false,
+        dirty: false,
+        pending: false,
+        lru: 0,
+    };
+}
+
+#[derive(Debug, Clone)]
+struct Mshr {
+    targets: Vec<(ReqId, AccessKind)>,
+}
+
+/// Per-cache statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Hit ratio over all non-stalled accesses.
+    pub hits: Ratio,
+    /// Read accesses observed.
+    pub reads: u64,
+    /// Write accesses observed.
+    pub writes: u64,
+    /// Lines filled from below.
+    pub fills: u64,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+    /// Accesses rejected for structural reasons.
+    pub stalls: u64,
+}
+
+impl CacheStats {
+    /// Total misses (non-merged and merged).
+    pub fn misses(&self) -> u64 {
+        self.hits.den - self.hits.num
+    }
+}
+
+/// A set-associative, MSHR-based cache (timing + tag state only; data lives
+/// in the functional [`MemImage`](crate::image::MemImage)).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    mshrs: HashMap<Addr, Mshr>,
+    lru_tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (size not divisible into
+    /// `ways × line_bytes` power-of-two sets).
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be 2^n");
+        assert!(cfg.ways > 0 && cfg.size_bytes.is_multiple_of(cfg.line_bytes * cfg.ways));
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            sets: vec![vec![Line::EMPTY; cfg.ways]; sets],
+            mshrs: HashMap::new(),
+            lru_tick: 0,
+            cfg,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (e.g. between frames) without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Line-aligns an address.
+    pub fn line_addr(&self, addr: Addr) -> Addr {
+        addr & !(self.cfg.line_bytes as u64 - 1)
+    }
+
+    fn set_index(&self, line: Addr) -> usize {
+        ((line / self.cfg.line_bytes as u64) as usize) & (self.sets.len() - 1)
+    }
+
+    fn tag(&self, line: Addr) -> u64 {
+        line / self.cfg.line_bytes as u64 / self.sets.len() as u64
+    }
+
+    /// True if `addr`'s line is present and valid (no state change).
+    pub fn probe(&self, addr: Addr) -> bool {
+        let line = self.line_addr(addr);
+        let si = self.set_index(line);
+        let tag = self.tag(line);
+        self.sets[si].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Performs a timed access for request `id` at `addr`.
+    ///
+    /// The address may be unaligned; the cache operates on its line. See
+    /// [`Access`] for what the owner must do next. `_now` is accepted for
+    /// future latency-dependent policies; current replacement is
+    /// access-order LRU.
+    pub fn access(&mut self, addr: Addr, kind: AccessKind, id: ReqId, _now: Cycle) -> Access {
+        let line = self.line_addr(addr);
+        let si = self.set_index(line);
+        let tag = self.tag(line);
+        self.lru_tick += 1;
+        let tick = self.lru_tick;
+
+        match kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+        }
+
+        // Hit?
+        if let Some(l) = self.sets[si]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            l.lru = tick;
+            if kind == AccessKind::Write {
+                match self.cfg.write_policy {
+                    WritePolicy::WriteBackAllocate => {
+                        l.dirty = true;
+                        self.stats.hits.record(true);
+                        return Access::Hit;
+                    }
+                    WritePolicy::WriteThroughNoAllocate => {
+                        self.stats.hits.record(true);
+                        return Access::WriteForward;
+                    }
+                }
+            }
+            self.stats.hits.record(true);
+            return Access::Hit;
+        }
+
+        // Write-through caches never allocate on writes.
+        if kind == AccessKind::Write
+            && self.cfg.write_policy == WritePolicy::WriteThroughNoAllocate
+        {
+            self.stats.hits.record(false);
+            return Access::WriteForward;
+        }
+
+        // Merge into an existing MSHR?
+        if let Some(m) = self.mshrs.get_mut(&line) {
+            if m.targets.len() >= self.cfg.targets_per_mshr {
+                self.stats.stalls += 1;
+                return Access::Stall(StallReason::MshrTargetsFull);
+            }
+            m.targets.push((id, kind));
+            self.stats.hits.record(false);
+            return Access::MergedMiss;
+        }
+
+        // New miss: need an MSHR and a victim way.
+        if self.mshrs.len() >= self.cfg.mshrs {
+            self.stats.stalls += 1;
+            return Access::Stall(StallReason::MshrFull);
+        }
+        let victim = {
+            let set = &self.sets[si];
+            let mut best: Option<usize> = None;
+            for (i, l) in set.iter().enumerate() {
+                if l.pending {
+                    continue;
+                }
+                if !l.valid {
+                    best = Some(i);
+                    break;
+                }
+                best = match best {
+                    None => Some(i),
+                    Some(b) if set[i].lru < set[b].lru => Some(i),
+                    b => b,
+                };
+            }
+            best
+        };
+        let Some(vi) = victim else {
+            self.stats.stalls += 1;
+            return Access::Stall(StallReason::SetReserved);
+        };
+
+        let victim_line = &self.sets[si][vi];
+        let writeback = if victim_line.valid && victim_line.dirty {
+            self.stats.writebacks += 1;
+            // Reconstruct the victim's line address.
+            let va = (victim_line.tag * self.sets.len() as u64 + si as u64)
+                * self.cfg.line_bytes as u64;
+            Some(va)
+        } else {
+            None
+        };
+        self.sets[si][vi] = Line {
+            tag,
+            valid: false,
+            dirty: false,
+            pending: true,
+            lru: tick,
+        };
+        self.mshrs.insert(
+            line,
+            Mshr {
+                targets: vec![(id, kind)],
+            },
+        );
+        self.stats.hits.record(false);
+        Access::Miss { writeback }
+    }
+
+    /// Completes a fill for `line` (line-aligned). Returns the ids of read
+    /// requests waiting on it. If any merged target was a write, the line
+    /// becomes dirty (write-back caches).
+    ///
+    /// Fills for lines with no MSHR (e.g. after a flush) are ignored and
+    /// return an empty list.
+    pub fn fill(&mut self, line: Addr) -> Vec<ReqId> {
+        let Some(m) = self.mshrs.remove(&line) else {
+            return Vec::new();
+        };
+        self.stats.fills += 1;
+        let si = self.set_index(line);
+        let tag = self.tag(line);
+        let any_write = m.targets.iter().any(|(_, k)| *k == AccessKind::Write);
+        if let Some(l) = self.sets[si].iter_mut().find(|l| l.pending && l.tag == tag) {
+            l.valid = true;
+            l.pending = false;
+            l.dirty = any_write;
+        }
+        m.targets
+            .into_iter()
+            .filter(|(_, k)| *k == AccessKind::Read)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Invalidates everything (writebacks are *not* generated; used between
+    /// independent experiment runs).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for l in set {
+                *l = Line::EMPTY;
+            }
+        }
+        self.mshrs.clear();
+    }
+
+    /// Number of in-flight missed lines.
+    pub fn pending_lines(&self) -> usize {
+        self.mshrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> Cache {
+        Cache::new(CacheConfig::small("t"))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = cache();
+        assert_eq!(c.config().sets(), 8);
+        assert_eq!(c.line_addr(0x12345), 0x12300);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = cache();
+        match c.access(0x1000, AccessKind::Read, 1, 0) {
+            Access::Miss { writeback: None } => {}
+            o => panic!("expected clean miss, got {o:?}"),
+        }
+        // Same line, different word: merges.
+        assert_eq!(c.access(0x1004, AccessKind::Read, 2, 1), Access::MergedMiss);
+        let waiting = c.fill(0x1000);
+        assert_eq!(waiting, vec![1, 2]);
+        assert_eq!(c.access(0x1000, AccessKind::Read, 3, 2), Access::Hit);
+        assert!(c.probe(0x1000));
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut c = cache();
+        // Fill a line, dirty it, then evict it by filling the same set with
+        // 4 more distinct tags (4-way).
+        let set_stride = 8 * 128; // sets * line
+        c.access(0x0, AccessKind::Write, 1, 0);
+        c.fill(0x0);
+        assert_eq!(c.access(0x0, AccessKind::Write, 2, 1), Access::Hit); // dirty
+        let mut evicted_writeback = None;
+        for i in 1..=4u64 {
+            match c.access(i * set_stride, AccessKind::Read, 10 + i, 2) {
+                Access::Miss { writeback } => {
+                    if writeback.is_some() {
+                        evicted_writeback = writeback;
+                    }
+                    c.fill(i * set_stride);
+                }
+                o => panic!("expected miss, got {o:?}"),
+            }
+        }
+        assert_eq!(evicted_writeback, Some(0x0));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_through_forwards() {
+        let mut cfg = CacheConfig::small("wt");
+        cfg.write_policy = WritePolicy::WriteThroughNoAllocate;
+        let mut c = Cache::new(cfg);
+        assert_eq!(c.access(0x40, AccessKind::Write, 1, 0), Access::WriteForward);
+        // No allocation happened.
+        assert!(!c.probe(0x40));
+        // Read-fill then write hit still forwards.
+        c.access(0x40, AccessKind::Read, 2, 1);
+        c.fill(0x0); // 0x40 lines to line 0x0
+        assert!(c.probe(0x40));
+        assert_eq!(c.access(0x40, AccessKind::Write, 3, 2), Access::WriteForward);
+    }
+
+    #[test]
+    fn mshr_exhaustion_stalls() {
+        let mut cfg = CacheConfig::small("m");
+        cfg.mshrs = 2;
+        let mut c = Cache::new(cfg);
+        assert!(matches!(
+            c.access(0x0, AccessKind::Read, 1, 0),
+            Access::Miss { .. }
+        ));
+        assert!(matches!(
+            c.access(0x1000, AccessKind::Read, 2, 0),
+            Access::Miss { .. }
+        ));
+        assert_eq!(
+            c.access(0x2000, AccessKind::Read, 3, 0),
+            Access::Stall(StallReason::MshrFull)
+        );
+        assert_eq!(c.stats().stalls, 1);
+    }
+
+    #[test]
+    fn target_merge_limit_stalls() {
+        let mut cfg = CacheConfig::small("tm");
+        cfg.targets_per_mshr = 2;
+        let mut c = Cache::new(cfg);
+        c.access(0x0, AccessKind::Read, 1, 0);
+        assert_eq!(c.access(0x4, AccessKind::Read, 2, 0), Access::MergedMiss);
+        assert_eq!(
+            c.access(0x8, AccessKind::Read, 3, 0),
+            Access::Stall(StallReason::MshrTargetsFull)
+        );
+    }
+
+    #[test]
+    fn set_reservation_stalls_when_all_ways_pending() {
+        let mut cfg = CacheConfig::small("sr");
+        cfg.mshrs = 16;
+        let mut c = Cache::new(cfg);
+        let set_stride = 8 * 128;
+        for i in 0..4u64 {
+            assert!(matches!(
+                c.access(i * set_stride, AccessKind::Read, i, 0),
+                Access::Miss { .. }
+            ));
+        }
+        assert_eq!(
+            c.access(4 * set_stride, AccessKind::Read, 99, 0),
+            Access::Stall(StallReason::SetReserved)
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = cache(); // 4-way
+        let set_stride = 8 * 128;
+        // Fill 4 ways of set 0.
+        for i in 0..4u64 {
+            c.access(i * set_stride, AccessKind::Read, i, 0);
+            c.fill(i * set_stride);
+        }
+        // Touch lines 1..3 so line 0 is LRU.
+        for i in 1..4u64 {
+            assert_eq!(c.access(i * set_stride, AccessKind::Read, 10 + i, 1), Access::Hit);
+        }
+        // New tag evicts line 0.
+        c.access(4 * set_stride, AccessKind::Read, 20, 2);
+        c.fill(4 * set_stride);
+        assert!(!c.probe(0));
+        assert!(c.probe(set_stride));
+    }
+
+    #[test]
+    fn write_merge_marks_dirty_on_fill() {
+        let mut c = cache();
+        c.access(0x0, AccessKind::Read, 1, 0);
+        assert_eq!(c.access(0x8, AccessKind::Write, 2, 0), Access::MergedMiss);
+        let readers = c.fill(0x0);
+        assert_eq!(readers, vec![1]); // write target not returned
+        // Evicting now must produce a writeback (dirty via merged write).
+        let set_stride = 8 * 128;
+        for i in 1..=4u64 {
+            if let Access::Miss { writeback: Some(wb) } =
+                c.access(i * set_stride, AccessKind::Read, 10 + i, 1)
+            {
+                assert_eq!(wb, 0x0);
+                return;
+            }
+            c.fill(i * set_stride);
+        }
+        panic!("dirty line was never evicted");
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut c = cache();
+        c.access(0x0, AccessKind::Read, 1, 0);
+        c.fill(0x0);
+        for _ in 0..9 {
+            c.access(0x0, AccessKind::Read, 2, 1);
+        }
+        assert!((c.stats().hits.value() - 0.9).abs() < 1e-9);
+        assert_eq!(c.stats().misses(), 1);
+    }
+}

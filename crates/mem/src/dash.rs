@@ -1,0 +1,515 @@
+//! The DASH deadline-aware memory scheduler (Usui et al., TACO 2016), as
+//! re-evaluated by Emerald's case study I.
+//!
+//! DASH layers four priority classes on top of FR-FCFS:
+//!
+//! 1. urgent IPs (behind on their deadline),
+//! 2. memory **non-intensive** CPU threads,
+//! 3. non-urgent IPs *or* memory-intensive CPU threads — chosen
+//!    probabilistically with a probability `P` re-evaluated every
+//!    *switching unit* to balance service between the two groups,
+//! 4. the group not chosen in (3).
+//!
+//! CPU threads are clustered into intensive/non-intensive every *quantum*
+//! using TCM's threshold rule. The paper highlights an ambiguity (§5.1.1):
+//! should the clustering bandwidth include non-CPU traffic? Both variants
+//! are implemented — [`Clustering::CpuOnly`] is the paper's **DCB**
+//! configuration, [`Clustering::System`] is **DTB** — and the experiments
+//! show they misbehave in different ways, reproducing Figures 9 and 12–14.
+
+use crate::req::MemRequest;
+use crate::sched::{BankState, DramScheduler, FrFcfs, QueuedReq};
+use emerald_common::rng::Xorshift64;
+use emerald_common::types::{Cycle, TrafficSource};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// Which traffic the TCM clustering threshold is computed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clustering {
+    /// `TotalBWusage` counts CPU traffic only (the paper's **DCB** config).
+    CpuOnly,
+    /// `TotalBWusage` counts all system traffic (the paper's **DTB**
+    /// config); CPU threads then almost always classify as non-intensive.
+    System,
+}
+
+/// DASH configuration (Table 3 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DashConfig {
+    /// Scheduling unit in cycles.
+    pub scheduling_unit: Cycle,
+    /// Probabilistic switching window in cycles.
+    pub switching_unit: Cycle,
+    /// TCM shuffling interval in cycles (kept for completeness; intra-
+    /// cluster ranks are shuffled for fairness).
+    pub shuffling_interval: Cycle,
+    /// TCM clustering quantum in cycles.
+    pub quantum: Cycle,
+    /// TCM clustering factor (fraction of total bandwidth that stays in the
+    /// latency-sensitive cluster).
+    pub cluster_thresh: f64,
+    /// Progress-rate threshold below which a non-GPU IP turns urgent.
+    pub emergent_threshold_ip: f64,
+    /// Progress-rate threshold below which the GPU turns urgent.
+    pub emergent_threshold_gpu: f64,
+    /// Clustering bandwidth variant (DCB vs DTB).
+    pub clustering: Clustering,
+    /// PRNG seed for the probabilistic switch.
+    pub seed: u64,
+}
+
+impl DashConfig {
+    /// The exact constants of Table 3.
+    pub fn paper(clustering: Clustering) -> Self {
+        Self {
+            scheduling_unit: 1_000,
+            switching_unit: 500,
+            shuffling_interval: 800,
+            quantum: 1_000_000,
+            cluster_thresh: 0.15,
+            emergent_threshold_ip: 0.8,
+            emergent_threshold_gpu: 0.9,
+            clustering,
+            seed: 0xDA54,
+        }
+    }
+}
+
+/// State shared between the per-channel DASH scheduler instances (the
+/// clustering and switching decisions are global, not per channel).
+#[derive(Debug)]
+pub struct DashShared {
+    cfg: DashConfig,
+    cpu_bytes: BTreeMap<usize, u64>,
+    ip_bytes: u64,
+    intensive: BTreeSet<usize>,
+    urgent: BTreeSet<TrafficSource>,
+    next_quantum: Cycle,
+    next_switch: Cycle,
+    /// Probability that memory-intensive CPU wins the probabilistic slot.
+    p_cpu: f64,
+    window_prefers_cpu: bool,
+    /// TCM intra-cluster shuffling: rank offset rotated every shuffling
+    /// interval so no intensive thread permanently outranks the others.
+    shuffle_offset: usize,
+    next_shuffle: Cycle,
+    serviced_cpu_intensive: u64,
+    serviced_ip_nonurgent: u64,
+    rng: Xorshift64,
+    /// Quantum boundaries crossed (for tests/diagnostics).
+    pub quanta: u64,
+}
+
+impl DashShared {
+    fn new(cfg: DashConfig) -> Self {
+        let mut rng = Xorshift64::new(cfg.seed);
+        let window_prefers_cpu = rng.chance(0.5);
+        Self {
+            next_quantum: cfg.quantum,
+            next_switch: cfg.switching_unit,
+            shuffle_offset: 0,
+            next_shuffle: cfg.shuffling_interval,
+            cfg,
+            cpu_bytes: BTreeMap::new(),
+            ip_bytes: 0,
+            intensive: BTreeSet::new(),
+            urgent: BTreeSet::new(),
+            p_cpu: 0.5,
+            window_prefers_cpu,
+            serviced_cpu_intensive: 0,
+            serviced_ip_nonurgent: 0,
+            rng,
+            quanta: 0,
+        }
+    }
+
+    fn roll(&mut self, now: Cycle) {
+        if now >= self.next_shuffle {
+            self.next_shuffle = now + self.cfg.shuffling_interval;
+            self.shuffle_offset = self.shuffle_offset.wrapping_add(1);
+        }
+        if now >= self.next_switch {
+            self.next_switch = now + self.cfg.switching_unit;
+            // Rebalance: give the slot to whichever group fell behind.
+            if self.serviced_cpu_intensive > self.serviced_ip_nonurgent {
+                self.p_cpu = (self.p_cpu - 0.1).max(0.05);
+            } else if self.serviced_ip_nonurgent > self.serviced_cpu_intensive {
+                self.p_cpu = (self.p_cpu + 0.1).min(0.95);
+            }
+            self.serviced_cpu_intensive = 0;
+            self.serviced_ip_nonurgent = 0;
+            self.window_prefers_cpu = self.rng.chance(self.p_cpu);
+        }
+        if now >= self.next_quantum {
+            self.next_quantum = now + self.cfg.quantum;
+            self.quanta += 1;
+            self.recluster();
+            self.cpu_bytes.clear();
+            self.ip_bytes = 0;
+        }
+    }
+
+    fn recluster(&mut self) {
+        let cpu_total: u64 = self.cpu_bytes.values().sum();
+        let total = match self.cfg.clustering {
+            Clustering::CpuOnly => cpu_total,
+            Clustering::System => cpu_total + self.ip_bytes,
+        };
+        let threshold = self.cfg.cluster_thresh * total as f64;
+        let mut by_usage: Vec<(usize, u64)> =
+            self.cpu_bytes.iter().map(|(k, v)| (*k, *v)).collect();
+        by_usage.sort_by_key(|&(id, b)| (b, id));
+        self.intensive.clear();
+        let mut acc = 0f64;
+        for (id, b) in by_usage {
+            acc += b as f64;
+            if acc > threshold {
+                self.intensive.insert(id);
+            }
+        }
+    }
+
+    /// Priority class of a request source; lower is more important.
+    fn class(&self, source: TrafficSource) -> u8 {
+        match source {
+            s if s.is_ip() && self.urgent.contains(&s) => 0,
+            TrafficSource::Cpu(id) if !self.intensive.contains(&id) => 1,
+            TrafficSource::Cpu(_) => {
+                if self.window_prefers_cpu {
+                    2
+                } else {
+                    3
+                }
+            }
+            _ => {
+                // Non-urgent IP.
+                if self.window_prefers_cpu {
+                    3
+                } else {
+                    2
+                }
+            }
+        }
+    }
+
+    /// True when the CPU thread is currently in the intensive cluster.
+    pub fn is_intensive(&self, cpu: usize) -> bool {
+        self.intensive.contains(&cpu)
+    }
+
+    /// TCM shuffled rank of an intensive CPU thread (lower = preferred);
+    /// rotates every shuffling interval for intra-cluster fairness.
+    pub fn shuffled_rank(&self, cpu: usize) -> usize {
+        let n = self.intensive.len().max(1);
+        (cpu + self.shuffle_offset) % n
+    }
+
+    /// True when the IP is currently urgent.
+    pub fn is_urgent(&self, source: TrafficSource) -> bool {
+        self.urgent.contains(&source)
+    }
+}
+
+/// Handle owned by the SoC for feeding DASH its deadline information.
+#[derive(Debug, Clone)]
+pub struct DashHandle(Rc<RefCell<DashShared>>);
+
+impl DashHandle {
+    /// Creates the shared state and returns a handle to it.
+    pub fn new(cfg: DashConfig) -> Self {
+        Self(Rc::new(RefCell::new(DashShared::new(cfg))))
+    }
+
+    /// Builds a per-channel scheduler sharing this state.
+    pub fn scheduler(&self) -> DashScheduler {
+        DashScheduler {
+            shared: Rc::clone(&self.0),
+        }
+    }
+
+    /// Marks `source` urgent or not directly.
+    pub fn set_urgent(&self, source: TrafficSource, urgent: bool) {
+        let mut s = self.0.borrow_mut();
+        if urgent {
+            s.urgent.insert(source);
+        } else {
+            s.urgent.remove(&source);
+        }
+    }
+
+    /// Deadline feedback: `done_frac` of the IP's current unit of work
+    /// (frame) is finished after `elapsed_frac` of its period. The IP turns
+    /// urgent when its progress rate falls below the emergent threshold
+    /// (0.9 for the GPU, 0.8 for other IPs, per Table 3).
+    pub fn update_progress(&self, source: TrafficSource, done_frac: f64, elapsed_frac: f64) {
+        let mut s = self.0.borrow_mut();
+        let threshold = match source {
+            TrafficSource::Gpu => s.cfg.emergent_threshold_gpu,
+            _ => s.cfg.emergent_threshold_ip,
+        };
+        let urgent = if elapsed_frac <= 1e-9 {
+            false
+        } else {
+            (done_frac / elapsed_frac) < threshold
+        };
+        if urgent {
+            s.urgent.insert(source);
+        } else {
+            s.urgent.remove(&source);
+        }
+    }
+
+    /// Runs `f` against the shared state (stats, tests).
+    pub fn inspect<R>(&self, f: impl FnOnce(&DashShared) -> R) -> R {
+        f(&self.0.borrow())
+    }
+}
+
+/// Per-channel DASH scheduler; all instances share one [`DashShared`].
+#[derive(Debug)]
+pub struct DashScheduler {
+    shared: Rc<RefCell<DashShared>>,
+}
+
+impl DramScheduler for DashScheduler {
+    fn pick(
+        &mut self,
+        queue: &[QueuedReq],
+        banks: &[BankState],
+        banks_per_rank: usize,
+        _now: Cycle,
+    ) -> Option<usize> {
+        if queue.is_empty() {
+            return None;
+        }
+        let shared = self.shared.borrow();
+        let best_class = queue
+            .iter()
+            .map(|q| shared.class(q.req.source))
+            .min()
+            .expect("non-empty queue");
+        let mut candidates: Vec<usize> = (0..queue.len())
+            .filter(|&i| shared.class(queue[i].req.source) == best_class)
+            .collect();
+        // TCM intra-cluster shuffling: among memory-intensive CPU threads,
+        // restrict to the best shuffled rank present (rotates over time).
+        let intensive_class = if shared.window_prefers_cpu { 2 } else { 3 };
+        if best_class == intensive_class {
+            let rank_of = |i: usize| match queue[i].req.source {
+                TrafficSource::Cpu(id) => shared.shuffled_rank(id),
+                _ => usize::MAX,
+            };
+            if let Some(best_rank) = candidates.iter().map(|&i| rank_of(i)).min() {
+                candidates.retain(|&i| rank_of(i) == best_rank);
+            }
+        }
+        FrFcfs::pick_among(queue, banks, banks_per_rank, &candidates)
+    }
+
+    fn on_service(&mut self, req: &MemRequest, _row_hit: bool, _now: Cycle) {
+        let mut s = self.shared.borrow_mut();
+        match req.source {
+            TrafficSource::Cpu(id) => {
+                *s.cpu_bytes.entry(id).or_insert(0) += req.bytes as u64;
+                if s.intensive.contains(&id) {
+                    s.serviced_cpu_intensive += 1;
+                }
+            }
+            src => {
+                s.ip_bytes += req.bytes as u64;
+                if !s.urgent.contains(&src) {
+                    s.serviced_ip_nonurgent += 1;
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        self.shared.borrow_mut().roll(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::DramLocation;
+    use emerald_common::types::AccessKind;
+
+    fn qreq(id: u64, source: TrafficSource, arrived: Cycle) -> QueuedReq {
+        QueuedReq {
+            req: MemRequest {
+                id,
+                addr: 0,
+                bytes: 128,
+                kind: AccessKind::Read,
+                source,
+                issued: arrived,
+            },
+            loc: DramLocation {
+                channel: 0,
+                rank: 0,
+                bank: (id % 8) as usize,
+                row: id,
+                col: 0,
+            },
+            arrived,
+        }
+    }
+
+    fn banks() -> Vec<BankState> {
+        vec![BankState::idle(); 8]
+    }
+
+    #[test]
+    fn urgent_ip_beats_everyone() {
+        let h = DashHandle::new(DashConfig::paper(Clustering::CpuOnly));
+        h.set_urgent(TrafficSource::Display, true);
+        let mut s = h.scheduler();
+        let queue = vec![
+            qreq(1, TrafficSource::Cpu(0), 0),
+            qreq(2, TrafficSource::Display, 5),
+            qreq(3, TrafficSource::Gpu, 1),
+        ];
+        assert_eq!(s.pick(&queue, &banks(), 8, 10), Some(1));
+    }
+
+    #[test]
+    fn non_intensive_cpu_beats_non_urgent_gpu() {
+        let h = DashHandle::new(DashConfig::paper(Clustering::CpuOnly));
+        let mut s = h.scheduler();
+        // No clustering has happened, so every CPU is non-intensive.
+        let queue = vec![qreq(1, TrafficSource::Gpu, 0), qreq(2, TrafficSource::Cpu(1), 5)];
+        assert_eq!(s.pick(&queue, &banks(), 8, 10), Some(1));
+    }
+
+    #[test]
+    fn progress_feedback_toggles_urgency() {
+        let h = DashHandle::new(DashConfig::paper(Clustering::CpuOnly));
+        // GPU at 50% of work through 80% of its period: behind → urgent.
+        h.update_progress(TrafficSource::Gpu, 0.5, 0.8);
+        assert!(h.inspect(|s| s.is_urgent(TrafficSource::Gpu)));
+        // Caught up → not urgent.
+        h.update_progress(TrafficSource::Gpu, 0.95, 0.8);
+        assert!(h.inspect(|s| !s.is_urgent(TrafficSource::Gpu)));
+    }
+
+    #[test]
+    fn gpu_threshold_is_stricter_than_ip() {
+        let h = DashHandle::new(DashConfig::paper(Clustering::CpuOnly));
+        // Progress rate 0.85: below the GPU's 0.9 threshold but above the
+        // generic IP threshold of 0.8.
+        h.update_progress(TrafficSource::Gpu, 0.85, 1.0);
+        h.update_progress(TrafficSource::Display, 0.85, 1.0);
+        assert!(h.inspect(|s| s.is_urgent(TrafficSource::Gpu)));
+        assert!(h.inspect(|s| !s.is_urgent(TrafficSource::Display)));
+    }
+
+    #[test]
+    fn dcb_clustering_marks_heavy_threads_intensive() {
+        let cfg = DashConfig {
+            quantum: 100,
+            ..DashConfig::paper(Clustering::CpuOnly)
+        };
+        let h = DashHandle::new(cfg);
+        let mut s = h.scheduler();
+        // CPU 0 light, CPU 1 heavy.
+        for i in 0..2u64 {
+            s.on_service(&qreq(i, TrafficSource::Cpu(0), 0).req, false, 0);
+        }
+        for i in 0..40u64 {
+            s.on_service(&qreq(10 + i, TrafficSource::Cpu(1), 0).req, false, 0);
+        }
+        s.tick(150); // quantum rollover
+        assert!(h.inspect(|st| st.is_intensive(1)));
+        assert!(h.inspect(|st| !st.is_intensive(0)));
+    }
+
+    #[test]
+    fn dtb_clustering_rarely_marks_intensive() {
+        let cfg = DashConfig {
+            quantum: 100,
+            ..DashConfig::paper(Clustering::System)
+        };
+        let h = DashHandle::new(cfg);
+        let mut s = h.scheduler();
+        // Same CPU traffic as above, but with massive GPU traffic in the
+        // total: the 15% threshold now covers all CPU threads.
+        for i in 0..2u64 {
+            s.on_service(&qreq(i, TrafficSource::Cpu(0), 0).req, false, 0);
+        }
+        for i in 0..40u64 {
+            s.on_service(&qreq(10 + i, TrafficSource::Cpu(1), 0).req, false, 0);
+        }
+        for i in 0..2000u64 {
+            s.on_service(&qreq(100 + i, TrafficSource::Gpu, 0).req, false, 0);
+        }
+        s.tick(150);
+        assert!(h.inspect(|st| !st.is_intensive(0)));
+        assert!(h.inspect(|st| !st.is_intensive(1)));
+    }
+
+    #[test]
+    fn probabilistic_window_flips_over_time() {
+        let cfg = DashConfig {
+            switching_unit: 10,
+            ..DashConfig::paper(Clustering::CpuOnly)
+        };
+        let h = DashHandle::new(cfg);
+        let mut s = h.scheduler();
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..2000 {
+            s.tick(t);
+            seen.insert(h.inspect(|st| st.window_prefers_cpu));
+        }
+        assert_eq!(seen.len(), 2, "both window preferences should occur");
+    }
+
+    #[test]
+    fn shuffled_rank_rotates_over_time() {
+        let cfg = DashConfig {
+            quantum: 100,
+            shuffling_interval: 50,
+            ..DashConfig::paper(Clustering::CpuOnly)
+        };
+        let h = DashHandle::new(cfg);
+        let mut s = h.scheduler();
+        // Make CPUs 1 and 2 intensive.
+        for i in 0..40u64 {
+            s.on_service(&qreq(i, TrafficSource::Cpu(1), 0).req, false, 0);
+            s.on_service(&qreq(100 + i, TrafficSource::Cpu(2), 0).req, false, 0);
+        }
+        s.on_service(&qreq(990, TrafficSource::Cpu(0), 0).req, false, 0);
+        s.tick(150);
+        assert!(h.inspect(|st| st.is_intensive(1) && st.is_intensive(2)));
+        let r0 = h.inspect(|st| st.shuffled_rank(1));
+        // Advance a few shuffling intervals, keeping the same traffic mix
+        // flowing so re-clustering preserves the intensive set.
+        for t in 151..=400 {
+            if t % 5 == 0 {
+                s.on_service(&qreq(2000 + t, TrafficSource::Cpu(1), t).req, false, t);
+                s.on_service(&qreq(3000 + t, TrafficSource::Cpu(2), t).req, false, t);
+            }
+            s.tick(t);
+        }
+        assert!(h.inspect(|st| st.is_intensive(1) && st.is_intensive(2)));
+        let r1 = h.inspect(|st| st.shuffled_rank(1));
+        assert_ne!(r0, r1, "shuffling must rotate ranks");
+    }
+
+    #[test]
+    fn within_class_uses_frfcfs() {
+        let h = DashHandle::new(DashConfig::paper(Clustering::CpuOnly));
+        let mut s = h.scheduler();
+        let mut bs = banks();
+        // Two GPU requests; the one with an open-row hit should win even
+        // though it arrived later.
+        let q1 = qreq(1, TrafficSource::Gpu, 0);
+        let mut q2 = qreq(2, TrafficSource::Gpu, 5);
+        q2.loc.bank = 3;
+        q2.loc.row = 42;
+        bs[3].open_row = Some(42);
+        assert_eq!(s.pick(&[q1, q2], &bs, 8, 10), Some(1));
+    }
+}

@@ -1,0 +1,430 @@
+//! A DRAM channel: banks, row buffers, a shared data bus, and a pluggable
+//! scheduler.
+//!
+//! The model captures the effects the paper's case study I depends on:
+//! row-buffer hits vs. activations (Figure 11's hit-rate and
+//! bytes-per-activation metrics), bank-level parallelism (HMC's IP
+//! mapping), data-bus bandwidth saturation (the high-load scenario of
+//! Figure 12) and scheduler-driven prioritization (DASH).
+
+use crate::mapping::DramLocation;
+use crate::req::{MemRequest, MemResponse};
+use crate::sched::{bank_index, BankState, DramScheduler, QueuedReq};
+use emerald_common::stats::Ratio;
+use emerald_common::types::{Cycle, TrafficSource};
+use std::collections::BTreeMap;
+
+/// DRAM channel timing/geometry parameters (in core cycles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Ranks per channel.
+    pub ranks: usize,
+    /// Banks per rank.
+    pub banks: usize,
+    /// Column (CAS) latency.
+    pub t_cl: u32,
+    /// Row activation latency (RAS-to-CAS).
+    pub t_rcd: u32,
+    /// Precharge latency.
+    pub t_rp: u32,
+    /// Data-bus occupancy per line transfer. This is the knob that sets
+    /// channel bandwidth: `line_bytes / burst_cycles` bytes per cycle.
+    pub burst_cycles: u32,
+    /// Scheduling queue capacity.
+    pub queue_cap: usize,
+}
+
+impl DramConfig {
+    /// "Regular load": LPDDR3-1333-class bandwidth on a 32-bit channel
+    /// (Table 5) — ~5.3 GB/s, i.e. a 128 B line every ~24 cycles at 1 GHz.
+    pub fn lpddr3_1333() -> Self {
+        Self {
+            ranks: 1,
+            banks: 8,
+            t_cl: 20,
+            t_rcd: 20,
+            t_rp: 20,
+            burst_cycles: 24,
+            queue_cap: 64,
+        }
+    }
+
+    /// "High load" stressor: the paper's 133 Mb/s/pin configuration (§5.2)
+    /// — one tenth the data-bus bandwidth, same core timings.
+    pub fn low_bandwidth() -> Self {
+        Self {
+            burst_cycles: 240,
+            ..Self::lpddr3_1333()
+        }
+    }
+
+    /// A milder high-load preset (6× reduced bandwidth) used by the
+    /// high-load benches: saturates the system like `low_bandwidth` but
+    /// keeps single-core simulation times tractable.
+    pub fn high_load() -> Self {
+        Self {
+            burst_cycles: 144,
+            ..Self::lpddr3_1333()
+        }
+    }
+
+    /// Case-study-II GPU memory: 4-channel LPDDR3-1600-class (Table 7);
+    /// per-channel burst is slightly faster than
+    /// [`DramConfig::lpddr3_1333`].
+    pub fn lpddr3_1600() -> Self {
+        Self {
+            burst_cycles: 20,
+            ..Self::lpddr3_1333()
+        }
+    }
+
+    /// Total banks in the channel.
+    pub fn total_banks(&self) -> usize {
+        self.ranks * self.banks
+    }
+}
+
+/// Aggregated channel statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelStats {
+    /// Row-buffer hit ratio over serviced requests.
+    pub row_hits: Ratio,
+    /// Row activations performed.
+    pub activations: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Requests serviced.
+    pub serviced: u64,
+    /// Sum of queueing+service latency over read requests (for averages).
+    pub read_latency_sum: u64,
+    /// Read requests serviced.
+    pub reads_serviced: u64,
+    /// Bytes by traffic source.
+    pub source_bytes: BTreeMap<TrafficSource, u64>,
+}
+
+impl ChannelStats {
+    /// Bytes transferred per row activation (Figure 11's energy proxy).
+    pub fn bytes_per_activation(&self) -> f64 {
+        if self.activations == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.activations as f64
+        }
+    }
+
+    /// Mean read latency in cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads_serviced == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads_serviced as f64
+        }
+    }
+
+    /// Merges another channel's statistics into this one.
+    pub fn merge(&mut self, o: &ChannelStats) {
+        self.row_hits.merge(&o.row_hits);
+        self.activations += o.activations;
+        self.bytes += o.bytes;
+        self.serviced += o.serviced;
+        self.read_latency_sum += o.read_latency_sum;
+        self.reads_serviced += o.reads_serviced;
+        for (s, b) in &o.source_bytes {
+            *self.source_bytes.entry(*s).or_insert(0) += b;
+        }
+    }
+}
+
+/// One DRAM channel with its scheduler.
+#[derive(Debug)]
+pub struct DramChannel {
+    cfg: DramConfig,
+    banks: Vec<BankState>,
+    queue: Vec<QueuedReq>,
+    bus_free_at: Cycle,
+    /// Requests in service: (completion_cycle, request, row_hit).
+    in_service: Vec<(Cycle, MemRequest)>,
+    scheduler: Box<dyn DramScheduler>,
+    stats: ChannelStats,
+}
+
+impl DramChannel {
+    /// Creates a channel driven by `scheduler`.
+    pub fn new(cfg: DramConfig, scheduler: Box<dyn DramScheduler>) -> Self {
+        let banks = vec![BankState::idle(); cfg.total_banks()];
+        Self {
+            cfg,
+            banks,
+            queue: Vec::new(),
+            bus_free_at: 0,
+            in_service: Vec::new(),
+            scheduler,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The channel's configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Clears statistics (not queue/bank state).
+    pub fn reset_stats(&mut self) {
+        self.stats = ChannelStats::default();
+    }
+
+    /// Requests waiting to be scheduled.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when the scheduling queue cannot accept more requests.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.cfg.queue_cap
+    }
+
+    /// Mutable access to the scheduler (for DASH feedback updates).
+    pub fn scheduler_mut(&mut self) -> &mut dyn DramScheduler {
+        self.scheduler.as_mut()
+    }
+
+    /// Enqueues a request already decoded to `loc`; fails when full.
+    pub fn enqueue(&mut self, req: MemRequest, loc: DramLocation, now: Cycle) -> Result<(), MemRequest> {
+        if self.is_full() {
+            return Err(req);
+        }
+        self.queue.push(QueuedReq { req, loc, arrived: now });
+        Ok(())
+    }
+
+    /// Advances the channel one cycle: possibly issues one request.
+    pub fn tick(&mut self, now: Cycle) {
+        self.scheduler.tick(now);
+        if self.queue.is_empty() {
+            return;
+        }
+        // Gate issue so the data bus pipeline stays at most one transfer
+        // ahead; this bounds in-flight work while keeping the bus busy.
+        if self.bus_free_at > now + self.cfg.burst_cycles as Cycle {
+            return;
+        }
+        let Some(idx) = self
+            .scheduler
+            .pick(&self.queue, &self.banks, self.cfg.banks, now)
+        else {
+            return;
+        };
+        let q = self.queue.swap_remove(idx);
+        let bi = bank_index(&q.loc, self.cfg.banks);
+        let bank = &mut self.banks[bi];
+
+        let start = now.max(bank.ready_at);
+        let row_hit = bank.open_row == Some(q.loc.row);
+        let mut lat: Cycle = 0;
+        if !row_hit {
+            if bank.open_row.is_some() {
+                lat += self.cfg.t_rp as Cycle;
+            }
+            lat += self.cfg.t_rcd as Cycle;
+            self.stats.activations += 1;
+            bank.open_row = Some(q.loc.row);
+        }
+        let col_done = start + lat + self.cfg.t_cl as Cycle;
+        let data_start = col_done.max(self.bus_free_at);
+        let done = data_start + self.cfg.burst_cycles as Cycle;
+        self.bus_free_at = done;
+        bank.ready_at = data_start;
+
+        self.stats.row_hits.record(row_hit);
+        self.stats.serviced += 1;
+        self.stats.bytes += q.req.bytes as u64;
+        *self
+            .stats
+            .source_bytes
+            .entry(q.req.source)
+            .or_insert(0) += q.req.bytes as u64;
+        if q.req.needs_response() {
+            self.stats.reads_serviced += 1;
+            self.stats.read_latency_sum += done.saturating_sub(q.req.issued);
+        }
+        self.scheduler.on_service(&q.req, row_hit, now);
+        self.in_service.push((done, q.req));
+    }
+
+    /// Pops all accesses that completed by `now` (reads and writes; the
+    /// caller filters for responses).
+    pub fn pop_finished(&mut self, now: Cycle) -> Vec<MemResponse> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.in_service.len() {
+            if self.in_service[i].0 <= now {
+                let (done, req) = self.in_service.swap_remove(i);
+                out.push(req.response(done));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// True when no request is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.in_service.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::AddressMapping;
+    use crate::sched::FrFcfs;
+    use emerald_common::types::{AccessKind, TrafficSource};
+
+    fn req(id: u64, addr: u64) -> MemRequest {
+        MemRequest {
+            id,
+            addr,
+            bytes: 128,
+            kind: AccessKind::Read,
+            source: TrafficSource::Gpu,
+            issued: 0,
+        }
+    }
+
+    fn channel() -> (DramChannel, AddressMapping) {
+        (
+            DramChannel::new(DramConfig::lpddr3_1333(), Box::new(FrFcfs::new())),
+            AddressMapping::baseline(1),
+        )
+    }
+
+    fn run_until_idle(ch: &mut DramChannel, mut now: Cycle) -> (Vec<MemResponse>, Cycle) {
+        let mut out = Vec::new();
+        while !ch.is_idle() {
+            ch.tick(now);
+            out.extend(ch.pop_finished(now));
+            now += 1;
+            assert!(now < 1_000_000, "channel never drained");
+        }
+        (out, now)
+    }
+
+    #[test]
+    fn single_read_latency_includes_activation() {
+        let (mut ch, map) = channel();
+        let r = req(1, 0x1000);
+        ch.enqueue(r, map.decode(0x1000), 0).unwrap();
+        let (resp, _) = run_until_idle(&mut ch, 0);
+        assert_eq!(resp.len(), 1);
+        let cfg = DramConfig::lpddr3_1333();
+        let expect = (cfg.t_rcd + cfg.t_cl + cfg.burst_cycles) as Cycle;
+        assert_eq!(resp[0].finished, expect);
+        assert_eq!(ch.stats().activations, 1);
+        assert_eq!(ch.stats().row_hits.num, 0);
+    }
+
+    #[test]
+    fn row_hits_after_first_access() {
+        let (mut ch, map) = channel();
+        // Four consecutive lines in the same row.
+        for i in 0..4u64 {
+            ch.enqueue(req(i, i * 128), map.decode(i * 128), 0).unwrap();
+        }
+        let (resp, _) = run_until_idle(&mut ch, 0);
+        assert_eq!(resp.len(), 4);
+        assert_eq!(ch.stats().activations, 1);
+        assert_eq!(ch.stats().row_hits.num, 3);
+        assert!(ch.stats().bytes_per_activation() >= 4.0 * 128.0);
+    }
+
+    #[test]
+    fn row_conflict_costs_precharge() {
+        let (mut ch, map) = channel();
+        let row_stride = 32 * 128; // cols_per_row * line (same bank, next row)
+        ch.enqueue(req(1, 0), map.decode(0), 0).unwrap();
+        let (r1, t1) = run_until_idle(&mut ch, 0);
+        ch.enqueue(req(2, 8 * row_stride), map.decode(8 * row_stride), t1)
+            .unwrap();
+        let (r2, _) = run_until_idle(&mut ch, t1);
+        let cfg = DramConfig::lpddr3_1333();
+        let lat1 = r1[0].finished;
+        let lat2 = r2[0].finished - t1 + 1;
+        assert!(lat2 >= lat1 + cfg.t_rp as Cycle - 1, "lat1={lat1} lat2={lat2}");
+        assert_eq!(ch.stats().activations, 2);
+    }
+
+    #[test]
+    fn bus_bandwidth_bounds_throughput() {
+        let (mut ch, map) = channel();
+        let n = 32u64;
+        for i in 0..n {
+            // Same row: all hits after the first, so the bus is the limit.
+            ch.enqueue(req(i, i * 128 % (32 * 128)), map.decode(i * 128 % (32 * 128)), 0)
+                .unwrap_or_else(|_| panic!("queue full"));
+        }
+        let (resp, end) = run_until_idle(&mut ch, 0);
+        assert_eq!(resp.len(), n as usize);
+        let min_cycles = n * DramConfig::lpddr3_1333().burst_cycles as u64;
+        assert!(end >= min_cycles, "end={end} < bus-bound {min_cycles}");
+    }
+
+    #[test]
+    fn low_bandwidth_preset_is_slower() {
+        let map = AddressMapping::baseline(1);
+        let mut fast = DramChannel::new(DramConfig::lpddr3_1333(), Box::new(FrFcfs::new()));
+        let mut slow = DramChannel::new(DramConfig::low_bandwidth(), Box::new(FrFcfs::new()));
+        for ch in [&mut fast, &mut slow] {
+            for i in 0..16u64 {
+                ch.enqueue(req(i, i * 128), map.decode(i * 128), 0).unwrap();
+            }
+        }
+        let (_, t_fast) = run_until_idle(&mut fast, 0);
+        let (_, t_slow) = run_until_idle(&mut slow, 0);
+        assert!(t_slow > 5 * t_fast, "slow={t_slow} fast={t_fast}");
+    }
+
+    #[test]
+    fn queue_backpressure() {
+        let (mut ch, map) = channel();
+        let cap = ch.config().queue_cap;
+        for i in 0..cap as u64 {
+            ch.enqueue(req(i, i * 4096), map.decode(i * 4096), 0).unwrap();
+        }
+        assert!(ch.is_full());
+        assert!(ch.enqueue(req(999, 0), map.decode(0), 0).is_err());
+    }
+
+    #[test]
+    fn per_source_bytes_accounted() {
+        let (mut ch, map) = channel();
+        let mut r = req(1, 0);
+        r.source = TrafficSource::Display;
+        ch.enqueue(r, map.decode(0), 0).unwrap();
+        let mut r2 = req(2, 128);
+        r2.source = TrafficSource::Cpu(0);
+        ch.enqueue(r2, map.decode(128), 0).unwrap();
+        run_until_idle(&mut ch, 0);
+        assert_eq!(ch.stats().source_bytes[&TrafficSource::Display], 128);
+        assert_eq!(ch.stats().source_bytes[&TrafficSource::Cpu(0)], 128);
+    }
+
+    #[test]
+    fn writes_do_not_produce_read_latency_stats() {
+        let (mut ch, map) = channel();
+        let w = MemRequest {
+            kind: AccessKind::Write,
+            ..req(1, 0)
+        };
+        ch.enqueue(w, map.decode(0), 0).unwrap();
+        let (resp, _) = run_until_idle(&mut ch, 0);
+        assert_eq!(resp.len(), 1); // completion is still reported
+        assert_eq!(ch.stats().reads_serviced, 0);
+        assert_eq!(ch.stats().serviced, 1);
+    }
+}

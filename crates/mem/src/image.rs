@@ -1,0 +1,220 @@
+//! Functional backing store: the simulated physical memory contents.
+//!
+//! Emerald splits *functional* execution (what values memory holds) from
+//! *timing* (when accesses complete). [`MemImage`] is the functional half:
+//! a flat byte array with a bump allocator that the scene loader, shader
+//! executor, display controller and CPU model all read and write directly,
+//! while the timing half replays the same addresses through caches and DRAM.
+
+use emerald_common::types::Addr;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Simulated physical memory with a bump allocator.
+#[derive(Debug, Clone)]
+pub struct MemImage {
+    data: Vec<u8>,
+    next: Addr,
+}
+
+impl MemImage {
+    /// Creates an image of `capacity` bytes. Allocation starts at a small
+    /// non-zero offset so that address 0 stays an obvious "null".
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            data: vec![0; capacity],
+            next: 256,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bytes allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+
+    /// Allocates `size` bytes aligned to `align` (power of two); returns the
+    /// base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or the image is exhausted.
+    pub fn alloc(&mut self, size: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next + align - 1) & !(align - 1);
+        assert!(
+            (base + size) as usize <= self.data.len(),
+            "memory image exhausted: need {} more bytes",
+            base + size - self.data.len() as u64
+        );
+        self.next = base + size;
+        base
+    }
+
+    /// Reads a little-endian `u32`. Out-of-range reads return 0 (useful for
+    /// speculative/masked lanes).
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        let i = addr as usize;
+        if i + 4 > self.data.len() {
+            return 0;
+        }
+        u32::from_le_bytes([
+            self.data[i],
+            self.data[i + 1],
+            self.data[i + 2],
+            self.data[i + 3],
+        ])
+    }
+
+    /// Writes a little-endian `u32`; out-of-range writes are ignored.
+    pub fn write_u32(&mut self, addr: Addr, value: u32) {
+        let i = addr as usize;
+        if i + 4 > self.data.len() {
+            return;
+        }
+        self.data[i..i + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads an `f32` stored by [`MemImage::write_f32`].
+    pub fn read_f32(&self, addr: Addr) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an `f32` as its bit pattern.
+    pub fn write_f32(&mut self, addr: Addr, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Copies a byte slice into memory at `addr` (clipped to capacity).
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        let i = addr as usize;
+        let end = (i + bytes.len()).min(self.data.len());
+        if i < end {
+            self.data[i..end].copy_from_slice(&bytes[..end - i]);
+        }
+    }
+
+    /// Borrows `len` bytes starting at `addr` (clipped to capacity).
+    pub fn read_bytes(&self, addr: Addr, len: usize) -> &[u8] {
+        let i = (addr as usize).min(self.data.len());
+        let end = (i + len).min(self.data.len());
+        &self.data[i..end]
+    }
+}
+
+/// Shared handle to a [`MemImage`], cloned by every component that needs
+/// functional memory access. The simulator is single-threaded by design
+/// (cycle-accurate models are inherently sequential), so `Rc<RefCell<…>>`
+/// is the right tool.
+#[derive(Debug, Clone)]
+pub struct SharedMem(Rc<RefCell<MemImage>>);
+
+impl SharedMem {
+    /// Wraps an image in a shared handle.
+    pub fn new(image: MemImage) -> Self {
+        Self(Rc::new(RefCell::new(image)))
+    }
+
+    /// Creates a shared image of `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::new(MemImage::new(capacity))
+    }
+
+    /// Runs `f` with immutable access to the image.
+    pub fn read<R>(&self, f: impl FnOnce(&MemImage) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// Runs `f` with mutable access to the image.
+    pub fn write<R>(&self, f: impl FnOnce(&mut MemImage) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+
+    /// Convenience: allocates from the shared image.
+    pub fn alloc(&self, size: u64, align: u64) -> Addr {
+        self.write(|m| m.alloc(size, align))
+    }
+
+    /// Convenience: reads a `u32`.
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        self.read(|m| m.read_u32(addr))
+    }
+
+    /// Convenience: writes a `u32`.
+    pub fn write_u32(&self, addr: Addr, value: u32) {
+        self.write(|m| m.write_u32(addr, value));
+    }
+
+    /// Convenience: reads an `f32`.
+    pub fn read_f32(&self, addr: Addr) -> f32 {
+        self.read(|m| m.read_f32(addr))
+    }
+
+    /// Convenience: writes an `f32`.
+    pub fn write_f32(&self, addr: Addr, value: f32) {
+        self.write(|m| m.write_f32(addr, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut m = MemImage::new(1 << 16);
+        let a = m.alloc(10, 4);
+        assert_eq!(a % 4, 0);
+        let b = m.alloc(1, 128);
+        assert_eq!(b % 128, 0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn u32_roundtrip_and_oob() {
+        let mut m = MemImage::new(64);
+        m.write_u32(8, 0xdead_beef);
+        assert_eq!(m.read_u32(8), 0xdead_beef);
+        assert_eq!(m.read_u32(1000), 0);
+        m.write_u32(1000, 1); // ignored
+        assert_eq!(m.read_u32(60), 0);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let mut m = MemImage::new(64);
+        m.write_f32(0, -2.5);
+        assert_eq!(m.read_f32(0), -2.5);
+    }
+
+    #[test]
+    fn byte_slices() {
+        let mut m = MemImage::new(16);
+        m.write_bytes(4, &[1, 2, 3]);
+        assert_eq!(m.read_bytes(4, 3), &[1, 2, 3]);
+        // Clipped at capacity.
+        m.write_bytes(14, &[9, 9, 9]);
+        assert_eq!(m.read_bytes(14, 10), &[9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn alloc_exhaustion_panics() {
+        let mut m = MemImage::new(512);
+        m.alloc(1024, 4);
+    }
+
+    #[test]
+    fn shared_mem_is_really_shared() {
+        let s1 = SharedMem::with_capacity(1024);
+        let s2 = s1.clone();
+        s1.write_u32(300, 77);
+        assert_eq!(s2.read_u32(300), 77);
+        let a = s2.alloc(16, 16);
+        assert!(a >= 256);
+    }
+}

@@ -1,0 +1,115 @@
+//! Memory requests and responses exchanged between hierarchy levels.
+
+use emerald_common::types::{AccessKind, Addr, Cycle, TrafficSource};
+
+/// Globally unique request identifier.
+pub type ReqId = u64;
+
+/// A cache-line-granularity memory request traveling down the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Unique id used to match responses to requesters.
+    pub id: ReqId,
+    /// Line-aligned byte address.
+    pub addr: Addr,
+    /// Transfer size in bytes (normally one cache line).
+    pub bytes: u32,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Originating SoC agent (CPU core, GPU, display…).
+    pub source: TrafficSource,
+    /// Cycle the request entered the memory system (for latency stats).
+    pub issued: Cycle,
+}
+
+/// A completed memory access returning up the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResponse {
+    /// The id of the request this answers.
+    pub id: ReqId,
+    /// Line-aligned byte address.
+    pub addr: Addr,
+    /// Transfer size in bytes.
+    pub bytes: u32,
+    /// Read or write (writes complete silently for requesters, but the
+    /// completion still carries bandwidth accounting).
+    pub kind: AccessKind,
+    /// Originating agent, echoed back for routing.
+    pub source: TrafficSource,
+    /// Cycle the access completed at DRAM (or the level that satisfied it).
+    pub finished: Cycle,
+}
+
+impl MemRequest {
+    /// Builds the response corresponding to this request.
+    pub fn response(&self, finished: Cycle) -> MemResponse {
+        MemResponse {
+            id: self.id,
+            addr: self.addr,
+            bytes: self.bytes,
+            kind: self.kind,
+            source: self.source,
+            finished,
+        }
+    }
+
+    /// True for reads (which need a response delivered to the requester).
+    pub fn needs_response(&self) -> bool {
+        self.kind == AccessKind::Read
+    }
+}
+
+/// Monotonic generator for [`ReqId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct ReqIdGen {
+    next: ReqId,
+}
+
+impl ReqIdGen {
+    /// Creates a generator starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh id.
+    pub fn next_id(&mut self) -> ReqId {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_echoes_request() {
+        let r = MemRequest {
+            id: 42,
+            addr: 0x1000,
+            bytes: 128,
+            kind: AccessKind::Read,
+            source: TrafficSource::Gpu,
+            issued: 10,
+        };
+        let resp = r.response(99);
+        assert_eq!(resp.id, 42);
+        assert_eq!(resp.addr, 0x1000);
+        assert_eq!(resp.finished, 99);
+        assert!(r.needs_response());
+        let w = MemRequest {
+            kind: AccessKind::Write,
+            ..r
+        };
+        assert!(!w.needs_response());
+    }
+
+    #[test]
+    fn id_gen_is_monotonic() {
+        let mut g = ReqIdGen::new();
+        let a = g.next_id();
+        let b = g.next_id();
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,184 @@
+//! DRAM scheduling: the scheduler trait and the FR-FCFS baseline.
+
+use crate::mapping::DramLocation;
+use crate::req::MemRequest;
+use emerald_common::types::Cycle;
+use std::fmt;
+
+/// A request waiting in a channel's scheduling queue.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedReq {
+    /// The request itself.
+    pub req: MemRequest,
+    /// Its decoded DRAM coordinates.
+    pub loc: DramLocation,
+    /// Cycle it entered this channel's queue.
+    pub arrived: Cycle,
+}
+
+/// Snapshot of one bank's row-buffer state, given to schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankState {
+    /// Currently open row, if any.
+    pub open_row: Option<u64>,
+    /// Cycle at which the bank can accept a new command.
+    pub ready_at: Cycle,
+}
+
+impl BankState {
+    /// A closed, idle bank.
+    pub fn idle() -> Self {
+        Self {
+            open_row: None,
+            ready_at: 0,
+        }
+    }
+}
+
+/// Flat bank index for a location, given `banks_per_rank`.
+pub fn bank_index(loc: &DramLocation, banks_per_rank: usize) -> usize {
+    loc.rank * banks_per_rank + loc.bank
+}
+
+/// A DRAM request scheduler for one channel.
+///
+/// Implementations see the whole queue plus bank states and return the
+/// index of the request to issue this cycle.
+pub trait DramScheduler: fmt::Debug {
+    /// Picks the queue index to service next, or `None` to idle.
+    fn pick(
+        &mut self,
+        queue: &[QueuedReq],
+        banks: &[BankState],
+        banks_per_rank: usize,
+        now: Cycle,
+    ) -> Option<usize>;
+
+    /// Notification that `req` was serviced (`row_hit` tells whether it hit
+    /// the open row). Default: ignored.
+    fn on_service(&mut self, req: &MemRequest, row_hit: bool, now: Cycle) {
+        let _ = (req, row_hit, now);
+    }
+
+    /// Per-cycle housekeeping (quantum/window rollovers). Default: none.
+    fn tick(&mut self, now: Cycle) {
+        let _ = now;
+    }
+}
+
+/// First-Ready, First-Come-First-Served: prefer the oldest row-buffer hit;
+/// otherwise the oldest request. The baseline scheduler of Table 4.
+#[derive(Debug, Default, Clone)]
+pub struct FrFcfs;
+
+impl FrFcfs {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// FR-FCFS selection among an arbitrary candidate subset, reused by
+    /// DASH within each priority class. `candidates` holds queue indices.
+    pub fn pick_among(
+        queue: &[QueuedReq],
+        banks: &[BankState],
+        banks_per_rank: usize,
+        candidates: &[usize],
+    ) -> Option<usize> {
+        // Oldest row hit first.
+        let mut best_hit: Option<usize> = None;
+        let mut best_any: Option<usize> = None;
+        for &i in candidates {
+            let q = &queue[i];
+            let b = &banks[bank_index(&q.loc, banks_per_rank)];
+            let hit = b.open_row == Some(q.loc.row);
+            if hit {
+                best_hit = match best_hit {
+                    None => Some(i),
+                    Some(j) if queue[i].arrived < queue[j].arrived => Some(i),
+                    j => j,
+                };
+            }
+            best_any = match best_any {
+                None => Some(i),
+                Some(j) if queue[i].arrived < queue[j].arrived => Some(i),
+                j => j,
+            };
+        }
+        best_hit.or(best_any)
+    }
+}
+
+impl DramScheduler for FrFcfs {
+    fn pick(
+        &mut self,
+        queue: &[QueuedReq],
+        banks: &[BankState],
+        banks_per_rank: usize,
+        _now: Cycle,
+    ) -> Option<usize> {
+        let candidates: Vec<usize> = (0..queue.len()).collect();
+        Self::pick_among(queue, banks, banks_per_rank, &candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emerald_common::types::{AccessKind, TrafficSource};
+
+    fn qr(id: u64, bank: usize, row: u64, arrived: Cycle) -> QueuedReq {
+        QueuedReq {
+            req: MemRequest {
+                id,
+                addr: 0,
+                bytes: 128,
+                kind: AccessKind::Read,
+                source: TrafficSource::Gpu,
+                issued: arrived,
+            },
+            loc: DramLocation {
+                channel: 0,
+                rank: 0,
+                bank,
+                row,
+                col: 0,
+            },
+            arrived,
+        }
+    }
+
+    #[test]
+    fn prefers_row_hit_over_older_miss() {
+        let mut banks = vec![BankState::idle(); 8];
+        banks[2].open_row = Some(7);
+        let queue = vec![qr(1, 0, 5, 0), qr(2, 2, 7, 10)];
+        let mut s = FrFcfs::new();
+        assert_eq!(s.pick(&queue, &banks, 8, 20), Some(1));
+    }
+
+    #[test]
+    fn falls_back_to_oldest() {
+        let banks = vec![BankState::idle(); 8];
+        let queue = vec![qr(1, 0, 5, 3), qr(2, 1, 7, 1)];
+        let mut s = FrFcfs::new();
+        assert_eq!(s.pick(&queue, &banks, 8, 20), Some(1));
+    }
+
+    #[test]
+    fn oldest_among_multiple_hits() {
+        let mut banks = vec![BankState::idle(); 8];
+        banks[0].open_row = Some(1);
+        banks[1].open_row = Some(2);
+        let queue = vec![qr(1, 0, 1, 9), qr(2, 1, 2, 4)];
+        let mut s = FrFcfs::new();
+        assert_eq!(s.pick(&queue, &banks, 8, 20), Some(1));
+    }
+
+    #[test]
+    fn empty_queue_idles() {
+        let banks = vec![BankState::idle(); 8];
+        let mut s = FrFcfs::new();
+        assert_eq!(s.pick(&[], &banks, 8, 0), None);
+    }
+}

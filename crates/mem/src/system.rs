@@ -1,0 +1,543 @@
+//! The memory-system façade: multiple DRAM channels behind a steering
+//! policy and a choice of scheduler.
+//!
+//! Three SoC memory organizations from case study I are expressible:
+//!
+//! * **BAS** — channels interleaved by address (baseline mapping), FR-FCFS.
+//! * **DCB/DTB** — same organization, DASH scheduling (CPU-only or
+//!   system-wide clustering bandwidth).
+//! * **HMC** — channels partitioned by traffic source: CPU channels use
+//!   the locality mapping, IP channels the bank-parallel mapping (Table 4).
+
+use crate::dash::{DashConfig, DashHandle};
+use crate::dram::{ChannelStats, DramChannel, DramConfig};
+use crate::mapping::AddressMapping;
+use crate::req::{MemRequest, MemResponse};
+use crate::sched::FrFcfs;
+use emerald_common::stats::BandwidthProbe;
+use emerald_common::types::{Cycle, TrafficSource};
+
+/// How addresses/sources map to channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Steering {
+    /// All sources share all channels; `mapping.channels` must equal the
+    /// channel count.
+    Interleaved {
+        /// The address mapping (its channel field selects the channel).
+        mapping: AddressMapping,
+    },
+    /// HMC: CPU traffic goes to `cpu_channels` with `cpu_mapping`, IP
+    /// traffic to `ip_channels` with `ip_mapping`. Each mapping's channel
+    /// count must equal its partition size.
+    SourcePartitioned {
+        /// Global channel ids serving CPU traffic.
+        cpu_channels: Vec<usize>,
+        /// Global channel ids serving IP traffic.
+        ip_channels: Vec<usize>,
+        /// Mapping within the CPU partition (locality-oriented).
+        cpu_mapping: AddressMapping,
+        /// Mapping within the IP partition (parallelism-oriented).
+        ip_mapping: AddressMapping,
+    },
+}
+
+/// Scheduler selection for all channels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerKind {
+    /// Baseline first-ready FCFS.
+    FrFcfs,
+    /// DASH with the given configuration (shared across channels).
+    Dash(DashConfig),
+}
+
+/// Memory-system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemorySystemConfig {
+    /// Number of DRAM channels.
+    pub channels: usize,
+    /// Per-channel DRAM parameters.
+    pub dram: DramConfig,
+    /// Channel steering policy.
+    pub steering: Steering,
+    /// Scheduler for every channel.
+    pub scheduler: SchedulerKind,
+}
+
+impl MemorySystemConfig {
+    /// The paper's baseline: `channels` interleaved channels, baseline
+    /// mapping, FR-FCFS (Table 4, "Baseline").
+    pub fn baseline(channels: usize, dram: DramConfig) -> Self {
+        Self {
+            channels,
+            dram,
+            steering: Steering::Interleaved {
+                mapping: AddressMapping::baseline(channels),
+            },
+            scheduler: SchedulerKind::FrFcfs,
+        }
+    }
+
+    /// Baseline organization with DASH scheduling (the DCB/DTB configs).
+    pub fn dash(channels: usize, dram: DramConfig, dash: DashConfig) -> Self {
+        Self {
+            scheduler: SchedulerKind::Dash(dash),
+            ..Self::baseline(channels, dram)
+        }
+    }
+
+    /// HMC: first half of the channels serve the CPU (locality mapping),
+    /// second half serve IPs (bank-parallel mapping), FR-FCFS (Table 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels < 2`.
+    pub fn hmc(channels: usize, dram: DramConfig) -> Self {
+        assert!(channels >= 2, "HMC needs at least one channel per class");
+        let half = channels / 2;
+        let cpu_channels: Vec<usize> = (0..half).collect();
+        let ip_channels: Vec<usize> = (half..channels).collect();
+        Self {
+            channels,
+            dram,
+            steering: Steering::SourcePartitioned {
+                cpu_mapping: AddressMapping::baseline(cpu_channels.len()),
+                ip_mapping: AddressMapping::ip_parallel(ip_channels.len()),
+                cpu_channels,
+                ip_channels,
+            },
+            scheduler: SchedulerKind::FrFcfs,
+        }
+    }
+}
+
+/// Coarse source classes used for bandwidth probes (Figures 10 and 14 plot
+/// CPU vs GPU vs display bandwidth over time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SourceClass {
+    /// Any CPU core.
+    Cpu,
+    /// The GPU.
+    Gpu,
+    /// The display controller.
+    Display,
+    /// Other IPs.
+    Other,
+}
+
+impl SourceClass {
+    /// Classifies a traffic source.
+    pub fn of(source: TrafficSource) -> Self {
+        match source {
+            TrafficSource::Cpu(_) => SourceClass::Cpu,
+            TrafficSource::Gpu => SourceClass::Gpu,
+            TrafficSource::Display => SourceClass::Display,
+            TrafficSource::OtherIp(_) => SourceClass::Other,
+        }
+    }
+
+    /// All classes, for iteration.
+    pub const ALL: [SourceClass; 4] = [
+        SourceClass::Cpu,
+        SourceClass::Gpu,
+        SourceClass::Display,
+        SourceClass::Other,
+    ];
+}
+
+#[derive(Debug)]
+struct Probes {
+    cpu: BandwidthProbe,
+    gpu: BandwidthProbe,
+    display: BandwidthProbe,
+    other: BandwidthProbe,
+}
+
+impl Probes {
+    fn new(window: Cycle) -> Self {
+        Self {
+            cpu: BandwidthProbe::new(window),
+            gpu: BandwidthProbe::new(window),
+            display: BandwidthProbe::new(window),
+            other: BandwidthProbe::new(window),
+        }
+    }
+
+    fn probe_mut(&mut self, class: SourceClass) -> &mut BandwidthProbe {
+        match class {
+            SourceClass::Cpu => &mut self.cpu,
+            SourceClass::Gpu => &mut self.gpu,
+            SourceClass::Display => &mut self.display,
+            SourceClass::Other => &mut self.other,
+        }
+    }
+}
+
+/// The full multi-channel memory system.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: MemorySystemConfig,
+    channels: Vec<DramChannel>,
+    dash: Option<DashHandle>,
+    probes: Option<Probes>,
+    trace: Option<Vec<(Cycle, MemRequest)>>,
+}
+
+impl MemorySystem {
+    /// Builds the memory system described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the steering's mapping channel counts disagree with the
+    /// partition sizes / channel count.
+    pub fn new(cfg: MemorySystemConfig) -> Self {
+        match &cfg.steering {
+            Steering::Interleaved { mapping } => {
+                assert_eq!(
+                    mapping.channels, cfg.channels,
+                    "interleaved mapping must span all channels"
+                );
+            }
+            Steering::SourcePartitioned {
+                cpu_channels,
+                ip_channels,
+                cpu_mapping,
+                ip_mapping,
+            } => {
+                assert_eq!(cpu_mapping.channels, cpu_channels.len());
+                assert_eq!(ip_mapping.channels, ip_channels.len());
+                assert!(cpu_channels.iter().chain(ip_channels).all(|&c| c < cfg.channels));
+            }
+        }
+        let dash = match &cfg.scheduler {
+            SchedulerKind::FrFcfs => None,
+            SchedulerKind::Dash(d) => Some(DashHandle::new(d.clone())),
+        };
+        let channels = (0..cfg.channels)
+            .map(|_| {
+                let sched: Box<dyn crate::sched::DramScheduler> = match (&cfg.scheduler, &dash) {
+                    (SchedulerKind::FrFcfs, _) => Box::new(FrFcfs::new()),
+                    (SchedulerKind::Dash(_), Some(h)) => Box::new(h.scheduler()),
+                    _ => unreachable!(),
+                };
+                DramChannel::new(cfg.dram.clone(), sched)
+            })
+            .collect();
+        Self {
+            cfg,
+            channels,
+            dash,
+            probes: None,
+            trace: None,
+        }
+    }
+
+    /// Starts recording every accepted request (GemDroid-style trace
+    /// capture, used by the trace-vs-execution methodology experiment).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded trace, disabling further recording.
+    pub fn take_trace(&mut self) -> Vec<(Cycle, MemRequest)> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// The DASH feedback handle, when DASH is the active scheduler.
+    pub fn dash(&self) -> Option<&DashHandle> {
+        self.dash.as_ref()
+    }
+
+    /// Starts recording per-class bandwidth over `window`-cycle windows.
+    pub fn enable_probes(&mut self, window: Cycle) {
+        self.probes = Some(Probes::new(window));
+    }
+
+    /// Completed-window bandwidth samples for `class` (empty when probes
+    /// are disabled).
+    pub fn probe_samples(&self, class: SourceClass) -> &[(Cycle, u64)] {
+        match &self.probes {
+            None => &[],
+            Some(p) => match class {
+                SourceClass::Cpu => p.cpu.samples(),
+                SourceClass::Gpu => p.gpu.samples(),
+                SourceClass::Display => p.display.samples(),
+                SourceClass::Other => p.other.samples(),
+            },
+        }
+    }
+
+    /// Total bytes ever recorded for `class`, including the still-open
+    /// window (0 when probes are disabled).
+    pub fn probe_total_bytes(&self, class: SourceClass) -> u64 {
+        match &self.probes {
+            None => 0,
+            Some(p) => match class {
+                SourceClass::Cpu => p.cpu.total_bytes(),
+                SourceClass::Gpu => p.gpu.total_bytes(),
+                SourceClass::Display => p.display.total_bytes(),
+                SourceClass::Other => p.other.total_bytes(),
+            },
+        }
+    }
+
+    /// Decodes a request's channel and partition-relative location.
+    fn route(&self, req: &MemRequest) -> (usize, crate::mapping::DramLocation) {
+        match &self.cfg.steering {
+            Steering::Interleaved { mapping } => {
+                let loc = mapping.decode(req.addr);
+                (loc.channel, loc)
+            }
+            Steering::SourcePartitioned {
+                cpu_channels,
+                ip_channels,
+                cpu_mapping,
+                ip_mapping,
+            } => {
+                if req.source.is_cpu() {
+                    let loc = cpu_mapping.decode(req.addr);
+                    (cpu_channels[loc.channel], loc)
+                } else {
+                    let loc = ip_mapping.decode(req.addr);
+                    (ip_channels[loc.channel], loc)
+                }
+            }
+        }
+    }
+
+    /// Enqueues a request; on backpressure the request is handed back.
+    pub fn enqueue(&mut self, req: MemRequest, now: Cycle) -> Result<(), MemRequest> {
+        let (ch, loc) = self.route(&req);
+        let r = self.channels[ch].enqueue(req, loc, now);
+        if r.is_ok() {
+            if let Some(t) = &mut self.trace {
+                t.push((now, req));
+            }
+        }
+        r
+    }
+
+    /// True when the channel that would serve `req` has queue space.
+    pub fn can_accept(&self, req: &MemRequest) -> bool {
+        let (ch, _) = self.route(req);
+        !self.channels[ch].is_full()
+    }
+
+    /// Advances every channel one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        for ch in &mut self.channels {
+            ch.tick(now);
+        }
+    }
+
+    /// Collects all accesses finished by `now`. Reads need routing back to
+    /// their requesters; writes are returned too for completeness.
+    pub fn drain_finished(&mut self, now: Cycle) -> Vec<MemResponse> {
+        let mut out = Vec::new();
+        for ch in &mut self.channels {
+            out.extend(ch.pop_finished(now));
+        }
+        if let Some(p) = &mut self.probes {
+            for r in &out {
+                p.probe_mut(SourceClass::of(r.source))
+                    .record(r.finished, r.bytes as u64);
+            }
+        }
+        out
+    }
+
+    /// Aggregated statistics across channels.
+    pub fn stats(&self) -> ChannelStats {
+        let mut agg = ChannelStats::default();
+        for ch in &self.channels {
+            agg.merge(ch.stats());
+        }
+        agg
+    }
+
+    /// Per-channel statistics.
+    pub fn channel_stats(&self) -> Vec<&ChannelStats> {
+        self.channels.iter().map(|c| c.stats()).collect()
+    }
+
+    /// Resets statistics on every channel.
+    pub fn reset_stats(&mut self) {
+        for ch in &mut self.channels {
+            ch.reset_stats();
+        }
+    }
+
+    /// True when every channel is idle.
+    pub fn is_idle(&self) -> bool {
+        self.channels.iter().all(|c| c.is_idle())
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The configuration this system was built from.
+    pub fn config(&self) -> &MemorySystemConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dash::Clustering;
+    use emerald_common::types::AccessKind;
+
+    fn read(id: u64, addr: u64, source: TrafficSource) -> MemRequest {
+        MemRequest {
+            id,
+            addr,
+            bytes: 128,
+            kind: AccessKind::Read,
+            source,
+            issued: 0,
+        }
+    }
+
+    fn drain_all(ms: &mut MemorySystem) -> Vec<MemResponse> {
+        let mut out = Vec::new();
+        let mut now = 0;
+        while !ms.is_idle() {
+            ms.tick(now);
+            out.extend(ms.drain_finished(now));
+            now += 1;
+            assert!(now < 1_000_000);
+        }
+        out
+    }
+
+    #[test]
+    fn baseline_interleaves_all_sources() {
+        let mut ms = MemorySystem::new(MemorySystemConfig::baseline(2, DramConfig::lpddr3_1333()));
+        for i in 0..8u64 {
+            ms.enqueue(read(i, i * 128, TrafficSource::Gpu), 0).unwrap();
+        }
+        let resp = drain_all(&mut ms);
+        assert_eq!(resp.len(), 8);
+        // Both channels serviced traffic.
+        let per = ms.channel_stats();
+        assert!(per[0].serviced > 0 && per[1].serviced > 0);
+    }
+
+    #[test]
+    fn hmc_partitions_by_source() {
+        let mut ms = MemorySystem::new(MemorySystemConfig::hmc(2, DramConfig::lpddr3_1333()));
+        for i in 0..4u64 {
+            ms.enqueue(read(i, i * 128, TrafficSource::Cpu(0)), 0).unwrap();
+            ms.enqueue(read(100 + i, i * 128, TrafficSource::Gpu), 0).unwrap();
+        }
+        drain_all(&mut ms);
+        let per = ms.channel_stats();
+        // Channel 0 only CPU bytes, channel 1 only GPU bytes.
+        assert!(per[0].source_bytes.contains_key(&TrafficSource::Cpu(0)));
+        assert!(!per[0].source_bytes.contains_key(&TrafficSource::Gpu));
+        assert!(per[1].source_bytes.contains_key(&TrafficSource::Gpu));
+        assert!(!per[1].source_bytes.contains_key(&TrafficSource::Cpu(0)));
+    }
+
+    #[test]
+    fn hmc_leaves_cpu_channel_idle_under_gpu_only_traffic() {
+        // The imbalance mechanism behind Figure 10: while the GPU renders,
+        // the CPU-assigned channel sits idle and GPU-only throughput halves.
+        let dram = DramConfig::lpddr3_1333();
+        let mut bas = MemorySystem::new(MemorySystemConfig::baseline(2, dram.clone()));
+        let mut hmc = MemorySystem::new(MemorySystemConfig::hmc(2, dram));
+        let finish = |ms: &mut MemorySystem| {
+            for i in 0..32u64 {
+                ms.enqueue(read(i, i * 128, TrafficSource::Gpu), 0).unwrap();
+            }
+            let mut now = 0;
+            while !ms.is_idle() {
+                ms.tick(now);
+                ms.drain_finished(now);
+                now += 1;
+            }
+            now
+        };
+        let t_bas = finish(&mut bas);
+        let t_hmc = finish(&mut hmc);
+        // CPU partition (channel 0) serviced nothing under HMC.
+        assert_eq!(hmc.channel_stats()[0].serviced, 0);
+        assert!(hmc.channel_stats()[1].serviced > 0);
+        // Losing a channel slows the GPU down substantially.
+        assert!(t_hmc as f64 > 1.5 * t_bas as f64, "hmc={t_hmc} bas={t_bas}");
+    }
+
+    #[test]
+    fn dash_system_exposes_handle() {
+        let ms = MemorySystem::new(MemorySystemConfig::dash(
+            2,
+            DramConfig::lpddr3_1333(),
+            DashConfig::paper(Clustering::CpuOnly),
+        ));
+        assert!(ms.dash().is_some());
+        let bas = MemorySystem::new(MemorySystemConfig::baseline(1, DramConfig::lpddr3_1333()));
+        assert!(bas.dash().is_none());
+    }
+
+    #[test]
+    fn dash_prioritizes_nonintensive_cpu_over_gpu() {
+        let mut ms = MemorySystem::new(MemorySystemConfig::dash(
+            1,
+            DramConfig::lpddr3_1333(),
+            DashConfig::paper(Clustering::CpuOnly),
+        ));
+        // Saturate with GPU traffic plus a trickle of CPU: CPU requests
+        // should see lower average latency than GPU ones.
+        let mut id = 0;
+        for i in 0..48u64 {
+            ms.enqueue(read(id, i * 128, TrafficSource::Gpu), 0).ok();
+            id += 1;
+        }
+        for i in 0..8u64 {
+            ms.enqueue(read(id, (1 << 20) + i * 4096, TrafficSource::Cpu(0)), 0)
+                .unwrap();
+            id += 1;
+        }
+        let resp = drain_all(&mut ms);
+        let avg = |cls: SourceClass| {
+            let v: Vec<u64> = resp
+                .iter()
+                .filter(|r| SourceClass::of(r.source) == cls)
+                .map(|r| r.finished)
+                .collect();
+            v.iter().sum::<u64>() as f64 / v.len() as f64
+        };
+        assert!(
+            avg(SourceClass::Cpu) < avg(SourceClass::Gpu),
+            "DASH should service non-intensive CPU first"
+        );
+    }
+
+    #[test]
+    fn probes_record_by_class() {
+        let mut ms = MemorySystem::new(MemorySystemConfig::baseline(1, DramConfig::lpddr3_1333()));
+        ms.enable_probes(100);
+        ms.enqueue(read(1, 0, TrafficSource::Gpu), 0).unwrap();
+        ms.enqueue(read(2, 4096, TrafficSource::Display), 0).unwrap();
+        let mut now = 0;
+        while !ms.is_idle() {
+            ms.tick(now);
+            ms.drain_finished(now);
+            now += 1;
+        }
+        assert_eq!(ms.probe_total_bytes(SourceClass::Gpu), 128);
+        assert_eq!(ms.probe_total_bytes(SourceClass::Display), 128);
+        assert_eq!(ms.probe_total_bytes(SourceClass::Cpu), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interleaved mapping must span")]
+    fn mismatched_mapping_panics() {
+        let mut cfg = MemorySystemConfig::baseline(2, DramConfig::lpddr3_1333());
+        cfg.steering = Steering::Interleaved {
+            mapping: AddressMapping::baseline(4),
+        };
+        MemorySystem::new(cfg);
+    }
+}

@@ -1,0 +1,29 @@
+//! Workloads for Emerald-rs: procedural meshes, textures, cameras and the
+//! paper's benchmark tables.
+//!
+//! The original evaluation renders classic graphics-research models
+//! (Sibenik cathedral, Spot, Suzanne, the Utah teapot — Table 8) and an
+//! Android model-viewer app's assets (chair, cube, mask, triangles —
+//! Table 6). Those exact meshes are not redistributable, so this crate
+//! generates procedural stand-ins with matching *workload-relevant*
+//! properties: triangle count scale, screen-space coverage, overdraw and
+//! texture behaviour (see DESIGN.md's substitution table).
+//!
+//! * [`mesh`] — triangle meshes and generators (cube, grids, spheres,
+//!   tori, rooms with columns, composites).
+//! * [`texture`] — procedural RGBA textures (checker, noise, gradients).
+//! * [`camera`] — orbiting cameras with small per-frame deltas, producing
+//!   the *temporal coherence* DFSL exploits (§6.3).
+//! * [`workloads`] — the W1-W6 and M1-M4 tables.
+
+#![warn(missing_docs)]
+
+pub mod camera;
+pub mod mesh;
+pub mod texture;
+pub mod workloads;
+
+pub use camera::OrbitCamera;
+pub use mesh::Mesh;
+pub use texture::TextureData;
+pub use workloads::{m_models, w_models, WorkloadDef};

@@ -1,0 +1,135 @@
+//! Procedural RGBA textures.
+
+use emerald_common::math::pack_rgba8;
+use emerald_common::rng::Xorshift64;
+
+/// A CPU-side RGBA8 texture (row-major, `0xAABBGGRR` packing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextureData {
+    width: u32,
+    height: u32,
+    texels: Vec<u32>,
+}
+
+impl TextureData {
+    /// Creates a texture from a per-texel generator `f(x, y) -> rgba`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or not a power of two (the
+    /// sampler relies on power-of-two wrapping).
+    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> [f32; 4]) -> Self {
+        assert!(width.is_power_of_two() && height.is_power_of_two());
+        let mut texels = Vec::with_capacity((width * height) as usize);
+        for y in 0..height {
+            for x in 0..width {
+                let [r, g, b, a] = f(x, y);
+                texels.push(pack_rgba8(r, g, b, a));
+            }
+        }
+        Self {
+            width,
+            height,
+            texels,
+        }
+    }
+
+    /// A checkerboard with `cells × cells` squares — high spatial locality,
+    /// matching typical diffuse maps for cache behaviour.
+    pub fn checker(size: u32, cells: u32) -> Self {
+        Self::from_fn(size, size, |x, y| {
+            let cx = x * cells / size;
+            let cy = y * cells / size;
+            if (cx + cy).is_multiple_of(2) {
+                [0.9, 0.9, 0.85, 1.0]
+            } else {
+                [0.2, 0.25, 0.3, 1.0]
+            }
+        })
+    }
+
+    /// Deterministic value noise (low locality; stresses the texture cache).
+    pub fn noise(size: u32, seed: u64) -> Self {
+        let mut rng = Xorshift64::new(seed);
+        Self::from_fn(size, size, |_, _| {
+            [rng.next_f32(), rng.next_f32(), rng.next_f32(), 1.0]
+        })
+    }
+
+    /// A smooth two-axis gradient.
+    pub fn gradient(size: u32) -> Self {
+        Self::from_fn(size, size, |x, y| {
+            [
+                x as f32 / size as f32,
+                y as f32 / size as f32,
+                0.5,
+                1.0,
+            ]
+        })
+    }
+
+    /// Texture width in texels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Texture height in texels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Packed texel at `(x, y)` (wrapped).
+    pub fn texel(&self, x: u32, y: u32) -> u32 {
+        let x = x & (self.width - 1);
+        let y = y & (self.height - 1);
+        self.texels[(y * self.width + x) as usize]
+    }
+
+    /// Raw texel array (row-major).
+    pub fn texels(&self) -> &[u32] {
+        &self.texels
+    }
+
+    /// Size in bytes when stored as RGBA8.
+    pub fn byte_size(&self) -> u64 {
+        self.texels.len() as u64 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checker_alternates() {
+        let t = TextureData::checker(64, 8);
+        assert_ne!(t.texel(0, 0), t.texel(8, 0));
+        assert_eq!(t.texel(0, 0), t.texel(16, 0));
+        assert_eq!(t.texel(0, 0), t.texel(8, 8));
+    }
+
+    #[test]
+    fn wrapping_addresses() {
+        let t = TextureData::gradient(32);
+        assert_eq!(t.texel(0, 0), t.texel(32, 0));
+        assert_eq!(t.texel(5, 7), t.texel(5 + 32, 7 + 64));
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        assert_eq!(TextureData::noise(16, 9), TextureData::noise(16, 9));
+        assert_ne!(TextureData::noise(16, 9), TextureData::noise(16, 10));
+    }
+
+    #[test]
+    fn byte_size_matches() {
+        let t = TextureData::checker(128, 4);
+        assert_eq!(t.byte_size(), 128 * 128 * 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        let _ = TextureData::from_fn(100, 64, |_, _| [0.0; 4]);
+    }
+}

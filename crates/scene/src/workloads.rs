@@ -1,0 +1,209 @@
+//! The paper's workload tables: W1-W6 (Table 8, case study II) and M1-M4
+//! (Table 6, case study I).
+
+use crate::camera::OrbitCamera;
+use crate::mesh::{self, Mesh};
+use crate::texture::TextureData;
+
+/// Which procedural texture a workload binds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TextureKind {
+    /// No texture (flat shading path).
+    None,
+    /// Checkerboard diffuse map.
+    Checker,
+    /// Value-noise map (texture-cache stress).
+    Noise,
+    /// Smooth gradient.
+    Gradient,
+}
+
+/// One benchmark workload: a mesh plus render state, matching a row of
+/// Table 6 or Table 8.
+#[derive(Debug, Clone)]
+pub struct WorkloadDef {
+    /// Table id ("W1".."W6" or "M1".."M4").
+    pub id: &'static str,
+    /// Human-readable model name (the paper's original model it stands in
+    /// for).
+    pub name: &'static str,
+    /// The geometry.
+    pub mesh: Mesh,
+    /// Bound texture.
+    pub texture: TextureKind,
+    /// Whether rendering uses alpha blending (Table 8's "Translucent?").
+    pub translucent: bool,
+    /// Camera for multi-frame runs.
+    pub camera: OrbitCamera,
+}
+
+impl WorkloadDef {
+    /// True when a texture is bound (Table 8's "Textured?" column).
+    pub fn textured(&self) -> bool {
+        self.texture != TextureKind::None
+    }
+
+    /// Materializes the texture data (256² texels), or `None`.
+    pub fn texture_data(&self) -> Option<TextureData> {
+        match self.texture {
+            TextureKind::None => None,
+            TextureKind::Checker => Some(TextureData::checker(256, 16)),
+            TextureKind::Noise => Some(TextureData::noise(256, 0x7e)),
+            TextureKind::Gradient => Some(TextureData::gradient(256)),
+        }
+    }
+}
+
+/// Case study II workloads (Table 8): all textured, W5 translucent.
+pub fn w_models() -> Vec<WorkloadDef> {
+    vec![
+        WorkloadDef {
+            id: "W1",
+            name: "Sibenik (architectural interior)",
+            mesh: mesh::room_with_columns(6.0, 3.0, 9.0, 6),
+            texture: TextureKind::Checker,
+            translucent: false,
+            camera: OrbitCamera {
+                radius: 1.2,
+                height: 0.2,
+                per_frame: 1.2f32.to_radians(),
+                ..OrbitCamera::new(1.2)
+            },
+        },
+        WorkloadDef {
+            id: "W2",
+            name: "Spot (textured quadruped-class blob)",
+            mesh: mesh::bumpy_sphere(0.9, 22, 30, 0.18, 11),
+            texture: TextureKind::Gradient,
+            translucent: false,
+            camera: OrbitCamera::new(1.7),
+        },
+        WorkloadDef {
+            id: "W3",
+            name: "Cube",
+            mesh: mesh::unit_cube(),
+            texture: TextureKind::Checker,
+            translucent: false,
+            camera: OrbitCamera::new(1.45),
+        },
+        WorkloadDef {
+            id: "W4",
+            name: "Suzanne (organic head)",
+            mesh: mesh::bumpy_sphere(0.95, 26, 34, 0.22, 42),
+            texture: TextureKind::Noise,
+            translucent: false,
+            camera: OrbitCamera::new(1.7),
+        },
+        WorkloadDef {
+            id: "W5",
+            name: "Suzanne transparent",
+            mesh: mesh::bumpy_sphere(0.95, 26, 34, 0.22, 42),
+            texture: TextureKind::Noise,
+            translucent: true,
+            camera: OrbitCamera::new(1.7),
+        },
+        WorkloadDef {
+            id: "W6",
+            name: "Utah Teapot",
+            mesh: mesh::teapot_like(),
+            texture: TextureKind::Checker,
+            translucent: false,
+            camera: OrbitCamera::new(1.95),
+        },
+    ]
+}
+
+/// Case study I workloads (Table 6): the Android model-viewer assets.
+pub fn m_models() -> Vec<WorkloadDef> {
+    vec![
+        WorkloadDef {
+            id: "M1",
+            name: "Chair",
+            mesh: mesh::chair(),
+            texture: TextureKind::Checker,
+            translucent: false,
+            camera: OrbitCamera::new(3.2),
+        },
+        WorkloadDef {
+            id: "M2",
+            name: "Cube",
+            mesh: mesh::unit_cube(),
+            texture: TextureKind::Checker,
+            translucent: false,
+            camera: OrbitCamera::new(2.2),
+        },
+        WorkloadDef {
+            id: "M3",
+            name: "Mask",
+            mesh: mesh::mask(),
+            texture: TextureKind::Gradient,
+            translucent: false,
+            camera: OrbitCamera::new(2.4),
+        },
+        WorkloadDef {
+            id: "M4",
+            name: "Triangles",
+            mesh: mesh::plane_grid(4, 4),
+            texture: TextureKind::None,
+            translucent: false,
+            camera: OrbitCamera {
+                height: 1.8,
+                ..OrbitCamera::new(1.6)
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table8_has_six_rows() {
+        let w = w_models();
+        assert_eq!(w.len(), 6);
+        let ids: Vec<&str> = w.iter().map(|x| x.id).collect();
+        assert_eq!(ids, ["W1", "W2", "W3", "W4", "W5", "W6"]);
+        // Table 8: everything textured, only W5 translucent.
+        assert!(w.iter().all(|x| x.textured()));
+        assert_eq!(
+            w.iter().filter(|x| x.translucent).map(|x| x.id).collect::<Vec<_>>(),
+            ["W5"]
+        );
+        // W4/W5 share geometry.
+        assert_eq!(w[3].mesh, w[4].mesh);
+    }
+
+    #[test]
+    fn table6_has_four_rows() {
+        let m = m_models();
+        assert_eq!(m.len(), 4);
+        let ids: Vec<&str> = m.iter().map(|x| x.id).collect();
+        assert_eq!(ids, ["M1", "M2", "M3", "M4"]);
+        // Chair and mask are the heavyweight models; triangles the lightest.
+        let tri = |i: usize| m[i].mesh.tri_count();
+        assert!(tri(0) > tri(1), "chair > cube");
+        assert!(tri(2) > tri(3), "mask > triangles");
+    }
+
+    #[test]
+    fn all_meshes_valid_and_textures_materialize() {
+        for w in w_models().into_iter().chain(m_models()) {
+            assert!(w.mesh.validate(), "{} invalid", w.id);
+            if w.textured() {
+                let t = w.texture_data().expect("texture");
+                assert!(t.width() >= 64);
+            } else {
+                assert!(w.texture_data().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn sibenik_class_is_geometry_dense() {
+        let w = w_models();
+        let sibenik = &w[0];
+        let cube = &w[2];
+        assert!(sibenik.mesh.tri_count() > 10 * cube.mesh.tri_count());
+    }
+}

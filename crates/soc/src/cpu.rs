@@ -1,0 +1,487 @@
+//! Phase-scripted CPU core models with private cache hierarchies.
+//!
+//! The original runs Android on gem5's out-of-order ARM cores; here each
+//! core executes a per-frame *phase script* that reproduces the traffic
+//! envelope of the model-viewer app (Table 5/6): prepare bursts, draw
+//! submission, fence waits and composition. Cores have private L1+L2
+//! caches (Table 5) and a bounded number of outstanding misses.
+
+use emerald_common::rng::Xorshift64;
+use emerald_common::types::{AccessKind, Addr, Cycle, TrafficSource};
+use emerald_mem::cache::{Access, Cache, CacheConfig, WritePolicy};
+use emerald_mem::image::SharedMem;
+use emerald_mem::req::{MemRequest, ReqIdGen};
+
+/// One step of a CPU core's per-frame script.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Phase {
+    /// Execute `instrs` instruction slots; each is a memory access with
+    /// probability `mem_ratio`, over a `footprint`-byte region starting at
+    /// the core's arena (`sequential` streams linearly, otherwise random).
+    Work {
+        /// Instruction slots.
+        instrs: u64,
+        /// Fraction of slots that access memory.
+        mem_ratio: f64,
+        /// Bytes touched.
+        footprint: u64,
+        /// Streaming vs random access pattern.
+        sequential: bool,
+    },
+    /// Submit the frame's draw calls (driver core only; the SoC acts on
+    /// this marker).
+    IssueDraw,
+    /// Poll a fence until the GPU finishes the frame (sparse loads).
+    WaitGpu,
+}
+
+/// A per-frame script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuWorkload {
+    /// Phases executed in order each frame.
+    pub phases: Vec<Phase>,
+}
+
+impl CpuWorkload {
+    /// The driver thread (core 0): prepare scene → submit → wait → compose.
+    pub fn driver() -> Self {
+        Self {
+            phases: vec![
+                Phase::Work {
+                    instrs: 24_000,
+                    mem_ratio: 0.25,
+                    footprint: 256 << 10,
+                    sequential: true,
+                },
+                Phase::IssueDraw,
+                Phase::WaitGpu,
+                Phase::Work {
+                    instrs: 8_000,
+                    mem_ratio: 0.15,
+                    footprint: 64 << 10,
+                    sequential: false,
+                },
+            ],
+        }
+    }
+
+    /// A memory-intensive streaming worker.
+    pub fn streamer() -> Self {
+        Self {
+            phases: vec![
+                Phase::Work {
+                    instrs: 30_000,
+                    mem_ratio: 0.40,
+                    footprint: 2 << 20,
+                    sequential: true,
+                },
+                Phase::WaitGpu,
+            ],
+        }
+    }
+
+    /// A compute-bound worker (memory non-intensive).
+    pub fn compute() -> Self {
+        Self {
+            phases: vec![
+                Phase::Work {
+                    instrs: 40_000,
+                    mem_ratio: 0.05,
+                    footprint: 64 << 10,
+                    sequential: false,
+                },
+                Phase::WaitGpu,
+            ],
+        }
+    }
+
+    /// A mixed random-access worker.
+    pub fn mixed() -> Self {
+        Self {
+            phases: vec![
+                Phase::Work {
+                    instrs: 30_000,
+                    mem_ratio: 0.15,
+                    footprint: 512 << 10,
+                    sequential: false,
+                },
+                Phase::WaitGpu,
+            ],
+        }
+    }
+}
+
+/// Per-core statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CpuStats {
+    /// Instruction slots retired.
+    pub instrs: u64,
+    /// Memory requests sent past the private caches.
+    pub mem_requests: u64,
+    /// Cycles stalled on outstanding misses.
+    pub stall_cycles: u64,
+    /// Frames completed.
+    pub frames: u64,
+}
+
+/// State the SoC reads after ticking a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuEvent {
+    /// Nothing notable.
+    None,
+    /// The driver submitted the frame's draws.
+    IssueDraw,
+}
+
+/// One in-order CPU core with private L1 + L2.
+#[derive(Debug)]
+pub struct CpuCoreModel {
+    /// Core index (its [`TrafficSource`] tag).
+    pub id: usize,
+    workload: CpuWorkload,
+    phase_idx: usize,
+    instr_in_phase: u64,
+    stream_pos: u64,
+    arena: Addr,
+    l1: Cache,
+    l2: Cache,
+    outstanding: u32,
+    max_outstanding: u32,
+    issued_draw_this_frame: bool,
+    at_frame_end: bool,
+    rng: Xorshift64,
+    stats: CpuStats,
+    out: Vec<MemRequest>,
+    poll_counter: u32,
+}
+
+fn cpu_l1() -> CacheConfig {
+    CacheConfig {
+        name: "cpuL1".into(),
+        size_bytes: 32 << 10,
+        line_bytes: 128,
+        ways: 4,
+        hit_latency: 1,
+        mshrs: 8,
+        targets_per_mshr: 8,
+        write_policy: WritePolicy::WriteBackAllocate,
+    }
+}
+
+fn cpu_l2() -> CacheConfig {
+    CacheConfig {
+        name: "cpuL2".into(),
+        size_bytes: 1 << 20,
+        line_bytes: 128,
+        ways: 8,
+        hit_latency: 10,
+        mshrs: 16,
+        targets_per_mshr: 8,
+        write_policy: WritePolicy::WriteBackAllocate,
+    }
+}
+
+impl CpuCoreModel {
+    /// Creates a core with a private memory arena allocated from `mem`.
+    pub fn new(id: usize, workload: CpuWorkload, mem: &SharedMem, seed: u64) -> Self {
+        // Arena sized for the largest footprint in the script.
+        let max_fp = workload
+            .phases
+            .iter()
+            .map(|p| match p {
+                Phase::Work { footprint, .. } => *footprint,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(4096)
+            .max(4096);
+        let arena = mem.alloc(max_fp, 128);
+        Self {
+            id,
+            workload,
+            phase_idx: 0,
+            instr_in_phase: 0,
+            stream_pos: 0,
+            arena,
+            l1: Cache::new(cpu_l1()),
+            l2: Cache::new(cpu_l2()),
+            outstanding: 0,
+            max_outstanding: 4,
+            issued_draw_this_frame: false,
+            at_frame_end: false,
+            rng: Xorshift64::new(seed ^ 0xC0DE),
+            stats: CpuStats::default(),
+            out: Vec::new(),
+            poll_counter: 0,
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CpuStats {
+        self.stats
+    }
+
+    /// True when the core reached the end of its per-frame script.
+    pub fn at_frame_end(&self) -> bool {
+        self.at_frame_end
+    }
+
+    /// Restarts the per-frame script (the SoC's frame barrier released).
+    pub fn begin_frame(&mut self) {
+        self.phase_idx = 0;
+        self.instr_in_phase = 0;
+        self.issued_draw_this_frame = false;
+        self.at_frame_end = false;
+        self.stats.frames += 1;
+    }
+
+    /// Drains requests generated this cycle (the SoC forwards them to the
+    /// memory system, re-queueing on backpressure via
+    /// [`CpuCoreModel::requeue`]).
+    pub fn drain_requests(&mut self) -> Vec<MemRequest> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Puts a rejected request back (memory-system backpressure).
+    pub fn requeue(&mut self, req: MemRequest) {
+        self.out.push(req);
+    }
+
+    /// Delivers a memory response for one of this core's loads.
+    pub fn on_response(&mut self) {
+        // The specific line no longer matters: the in-order model just
+        // counts outstanding misses.
+        self.outstanding = self.outstanding.saturating_sub(1);
+    }
+
+    fn issue_access(&mut self, addr: Addr, kind: AccessKind, ids: &mut ReqIdGen, now: Cycle) {
+        let line = self.l1.line_addr(addr);
+        let id = ids.next_id();
+        match self.l1.access(line, kind, id, now) {
+            Access::Hit => {}
+            Access::MergedMiss => {}
+            Access::Stall(_) => {} // drop: the slot retries as a new access
+            Access::WriteForward | Access::Miss { .. } => {
+                // L1 miss (or writeback) → L2.
+                let id2 = ids.next_id();
+                match self.l2.access(line, kind, id2, now) {
+                    Access::Hit | Access::MergedMiss | Access::Stall(_) => {
+                        if kind == AccessKind::Read {
+                            // L2 hit: data returns quickly; modelled as a
+                            // short non-blocking latency (no DRAM trip).
+                            self.l1.fill(line);
+                        }
+                    }
+                    Access::WriteForward | Access::Miss { .. } => {
+                        self.l2.fill(line); // fill on response abstraction
+                        self.l1.fill(line);
+                        self.stats.mem_requests += 1;
+                        self.out.push(MemRequest {
+                            id,
+                            addr: line,
+                            bytes: 128,
+                            kind,
+                            source: TrafficSource::Cpu(self.id),
+                            issued: now,
+                        });
+                        if kind == AccessKind::Read {
+                            self.outstanding += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances the core one cycle. `gpu_frame_done` reports whether the
+    /// GPU finished this frame's rendering (for `WaitGpu`).
+    pub fn tick(&mut self, now: Cycle, gpu_frame_done: bool, ids: &mut ReqIdGen) -> CpuEvent {
+        if self.at_frame_end {
+            return CpuEvent::None;
+        }
+        if self.outstanding >= self.max_outstanding {
+            self.stats.stall_cycles += 1;
+            return CpuEvent::None;
+        }
+        let Some(phase) = self.workload.phases.get(self.phase_idx).copied() else {
+            self.at_frame_end = true;
+            return CpuEvent::None;
+        };
+        match phase {
+            Phase::Work {
+                instrs,
+                mem_ratio,
+                footprint,
+                sequential,
+            } => {
+                self.stats.instrs += 1;
+                self.instr_in_phase += 1;
+                if self.rng.chance(mem_ratio) {
+                    let offset = if sequential {
+                        self.stream_pos = (self.stream_pos + 64) % footprint;
+                        self.stream_pos
+                    } else {
+                        self.rng.below(footprint.max(128))
+                    };
+                    let kind = if self.rng.chance(0.3) {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    self.issue_access(self.arena + (offset & !127), kind, ids, now);
+                }
+                if self.instr_in_phase >= instrs {
+                    self.phase_idx += 1;
+                    self.instr_in_phase = 0;
+                }
+                CpuEvent::None
+            }
+            Phase::IssueDraw => {
+                self.phase_idx += 1;
+                if self.issued_draw_this_frame {
+                    CpuEvent::None
+                } else {
+                    self.issued_draw_this_frame = true;
+                    CpuEvent::IssueDraw
+                }
+            }
+            Phase::WaitGpu => {
+                if gpu_frame_done {
+                    self.phase_idx += 1;
+                } else {
+                    // Sparse fence polling.
+                    self.poll_counter += 1;
+                    if self.poll_counter >= 256 {
+                        self.poll_counter = 0;
+                        self.issue_access(self.arena, AccessKind::Read, ids, now);
+                    }
+                }
+                CpuEvent::None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> SharedMem {
+        SharedMem::with_capacity(16 << 20)
+    }
+
+    #[test]
+    fn driver_emits_issue_draw_once_per_frame() {
+        let m = mem();
+        let mut ids = ReqIdGen::new();
+        let mut cpu = CpuCoreModel::new(0, CpuWorkload::driver(), &m, 1);
+        let mut draws = 0;
+        for now in 0..100_000 {
+            if cpu.tick(now, true, &mut ids) == CpuEvent::IssueDraw {
+                draws += 1;
+            }
+            cpu.drain_requests();
+            cpu.on_response(); // unblock instantly
+            if cpu.at_frame_end() {
+                break;
+            }
+        }
+        assert_eq!(draws, 1);
+        assert!(cpu.at_frame_end());
+        cpu.begin_frame();
+        assert!(!cpu.at_frame_end());
+    }
+
+    #[test]
+    fn wait_gpu_blocks_until_done() {
+        let m = mem();
+        let mut ids = ReqIdGen::new();
+        let mut cpu = CpuCoreModel::new(
+            0,
+            CpuWorkload {
+                phases: vec![Phase::WaitGpu],
+            },
+            &m,
+            2,
+        );
+        for now in 0..10_000 {
+            cpu.tick(now, false, &mut ids);
+            cpu.drain_requests();
+            cpu.on_response();
+        }
+        assert!(!cpu.at_frame_end(), "must wait for the GPU");
+        for now in 10_000..10_010 {
+            cpu.tick(now, true, &mut ids);
+        }
+        assert!(cpu.at_frame_end());
+    }
+
+    #[test]
+    fn streaming_worker_generates_memory_traffic() {
+        let m = mem();
+        let mut ids = ReqIdGen::new();
+        let mut cpu = CpuCoreModel::new(1, CpuWorkload::streamer(), &m, 3);
+        let mut reqs = 0;
+        for now in 0..40_000 {
+            cpu.tick(now, false, &mut ids);
+            let r = cpu.drain_requests();
+            reqs += r.len();
+            for _ in r {
+                cpu.on_response();
+            }
+            if cpu.at_frame_end() {
+                break;
+            }
+        }
+        assert!(reqs > 50, "streamer produced only {reqs} requests");
+        assert!(cpu.stats().mem_requests as usize == reqs);
+    }
+
+    #[test]
+    fn compute_worker_is_light_on_memory() {
+        let m = mem();
+        let mut ids = ReqIdGen::new();
+        let mut heavy = CpuCoreModel::new(1, CpuWorkload::streamer(), &m, 3);
+        let mut light = CpuCoreModel::new(2, CpuWorkload::compute(), &m, 4);
+        for now in 0..30_000 {
+            for cpu in [&mut heavy, &mut light] {
+                cpu.tick(now, false, &mut ids);
+                for _ in cpu.drain_requests() {
+                    cpu.on_response();
+                }
+            }
+        }
+        assert!(
+            heavy.stats().mem_requests > 4 * light.stats().mem_requests,
+            "heavy={} light={}",
+            heavy.stats().mem_requests,
+            light.stats().mem_requests
+        );
+    }
+
+    #[test]
+    fn outstanding_misses_stall_the_core() {
+        let m = mem();
+        let mut ids = ReqIdGen::new();
+        let mut cpu = CpuCoreModel::new(
+            0,
+            CpuWorkload {
+                phases: vec![Phase::Work {
+                    instrs: 100_000,
+                    mem_ratio: 1.0,
+                    footprint: 8 << 20,
+                    sequential: false,
+                }],
+            },
+            &m,
+            5,
+        );
+        // Never respond: the core must stall after max_outstanding reads.
+        for now in 0..10_000 {
+            cpu.tick(now, false, &mut ids);
+            cpu.drain_requests();
+        }
+        assert!(cpu.stats().stall_cycles > 5_000);
+        assert!(cpu.stats().instrs < 5_000);
+    }
+}

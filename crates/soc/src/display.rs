@@ -1,0 +1,232 @@
+//! The display controller: scanout DMA with deadline tracking.
+//!
+//! Reads the framebuffer once per refresh period at a uniform rate. If
+//! memory falls too far behind the raster beam, the controller underruns,
+//! *aborts the frame and retries* — exactly the behaviour the paper
+//! observes under DASH in the high-load scenario (§5.2.2, Fig. 14 ⑥).
+
+use emerald_common::types::{AccessKind, Addr, Cycle, TrafficSource};
+use emerald_mem::req::{MemRequest, ReqIdGen};
+
+/// Display statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DisplayStats {
+    /// Bytes serviced by memory.
+    pub serviced_bytes: u64,
+    /// Refresh frames fully scanned out.
+    pub frames_completed: u64,
+    /// Frames aborted due to underrun.
+    pub frames_aborted: u64,
+    /// Read requests issued.
+    pub requests: u64,
+}
+
+/// The scanout engine.
+#[derive(Debug)]
+pub struct DisplayController {
+    fb_base: Addr,
+    fb_bytes: u64,
+    period: Cycle,
+    line_bytes: u64,
+    /// Byte offset of the next fetch within the current frame.
+    fetch_pos: u64,
+    /// Bytes confirmed returned by memory this frame.
+    returned: u64,
+    frame_start: Cycle,
+    /// How many bytes the beam may lead confirmed data before underrun.
+    fifo_bytes: u64,
+    /// In-flight request ids (to credit `returned` on response).
+    inflight: u64,
+    aborted_until: Option<Cycle>,
+    stats: DisplayStats,
+    out: Vec<MemRequest>,
+}
+
+impl DisplayController {
+    /// Creates a controller scanning `fb_bytes` from `fb_base` every
+    /// `period` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `fb_bytes == 0`.
+    pub fn new(fb_base: Addr, fb_bytes: u64, period: Cycle) -> Self {
+        assert!(period > 0 && fb_bytes > 0);
+        Self {
+            fb_base,
+            fb_bytes,
+            period,
+            line_bytes: 128,
+            fetch_pos: 0,
+            returned: 0,
+            frame_start: 0,
+            fifo_bytes: 16 << 10, // 16 KiB scanout FIFO
+            inflight: 0,
+            aborted_until: None,
+            stats: DisplayStats::default(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> DisplayStats {
+        self.stats
+    }
+
+    /// The refresh period in cycles.
+    pub fn period(&self) -> Cycle {
+        self.period
+    }
+
+    /// Progress of the current refresh (for DASH deadline feedback):
+    /// `(done_fraction, elapsed_fraction)`.
+    pub fn progress(&self, now: Cycle) -> (f64, f64) {
+        let elapsed = (now.saturating_sub(self.frame_start)) as f64 / self.period as f64;
+        let done = self.returned as f64 / self.fb_bytes as f64;
+        (done.min(1.0), elapsed.min(1.0))
+    }
+
+    /// Drains requests generated this cycle.
+    pub fn drain_requests(&mut self) -> Vec<MemRequest> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Re-queues a request rejected by the memory system.
+    pub fn requeue(&mut self, req: MemRequest) {
+        self.out.push(req);
+    }
+
+    /// Credits a returned read.
+    pub fn on_response(&mut self, bytes: u32) {
+        self.inflight = self.inflight.saturating_sub(1);
+        self.returned += bytes as u64;
+        self.stats.serviced_bytes += bytes as u64;
+    }
+
+    /// Advances one cycle.
+    pub fn tick(&mut self, now: Cycle, ids: &mut ReqIdGen) {
+        // Waiting out an abort?
+        if let Some(t) = self.aborted_until {
+            if now < t {
+                return;
+            }
+            self.aborted_until = None;
+            self.start_frame(now);
+        }
+        let elapsed = now.saturating_sub(self.frame_start);
+        if elapsed >= self.period {
+            // Period over: did the whole frame scan out?
+            if self.returned >= self.fb_bytes {
+                self.stats.frames_completed += 1;
+            } else {
+                self.stats.frames_aborted += 1;
+            }
+            self.start_frame(now);
+            return;
+        }
+        // Uniform beam: bytes the panel has consumed so far.
+        let beam = self.fb_bytes * elapsed / self.period;
+        // Underrun: the beam overran even what memory has returned plus
+        // the FIFO depth.
+        if beam > self.returned + self.fifo_bytes && self.fetch_pos >= beam {
+            self.stats.frames_aborted += 1;
+            // Abort and retry at the next period boundary.
+            self.aborted_until = Some(self.frame_start + self.period);
+            return;
+        }
+        // Prefetch up to a FIFO's worth ahead of the beam — but only when
+        // the request FIFO has drained into the memory system (otherwise a
+        // saturated DRAM would grow the backlog without bound).
+        if !self.out.is_empty() {
+            return;
+        }
+        while self.fetch_pos < self.fb_bytes && self.fetch_pos < beam + self.fifo_bytes {
+            let addr = self.fb_base + self.fetch_pos;
+            self.out.push(MemRequest {
+                id: ids.next_id(),
+                addr,
+                bytes: self.line_bytes as u32,
+                kind: AccessKind::Read,
+                source: TrafficSource::Display,
+                issued: now,
+            });
+            self.stats.requests += 1;
+            self.inflight += 1;
+            self.fetch_pos += self.line_bytes;
+            if self.out.len() >= 4 {
+                break; // issue-rate limit per cycle
+            }
+        }
+    }
+
+    fn start_frame(&mut self, now: Cycle) {
+        self.frame_start = now;
+        self.fetch_pos = 0;
+        self.returned = 0;
+        self.inflight = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_frames_with_fast_memory() {
+        let mut d = DisplayController::new(0x1000, 64 << 10, 10_000);
+        let mut ids = ReqIdGen::new();
+        for now in 0..50_000 {
+            d.tick(now, &mut ids);
+            for r in d.drain_requests() {
+                d.on_response(r.bytes); // instant memory
+            }
+        }
+        let s = d.stats();
+        assert!(s.frames_completed >= 4, "completed {}", s.frames_completed);
+        assert_eq!(s.frames_aborted, 0);
+        assert!(s.serviced_bytes >= 4 * (64 << 10));
+    }
+
+    #[test]
+    fn starved_display_aborts_frames() {
+        let mut d = DisplayController::new(0x1000, 64 << 10, 10_000);
+        let mut ids = ReqIdGen::new();
+        for now in 0..50_000 {
+            d.tick(now, &mut ids);
+            d.drain_requests(); // never answered
+        }
+        let s = d.stats();
+        assert_eq!(s.frames_completed, 0);
+        assert!(s.frames_aborted >= 4, "aborted {}", s.frames_aborted);
+    }
+
+    #[test]
+    fn requests_cover_whole_framebuffer() {
+        let fb = 16 << 10;
+        let mut d = DisplayController::new(0x0, fb, 4_000);
+        let mut ids = ReqIdGen::new();
+        let mut addrs = std::collections::HashSet::new();
+        for now in 0..4_000 {
+            d.tick(now, &mut ids);
+            for r in d.drain_requests() {
+                addrs.insert(r.addr);
+                d.on_response(r.bytes);
+            }
+        }
+        assert_eq!(addrs.len() as u64, fb / 128);
+    }
+
+    #[test]
+    fn progress_tracks_beam_and_data() {
+        let mut d = DisplayController::new(0x0, 64 << 10, 10_000);
+        let mut ids = ReqIdGen::new();
+        for now in 0..5_000 {
+            d.tick(now, &mut ids);
+            for r in d.drain_requests() {
+                d.on_response(r.bytes);
+            }
+        }
+        let (done, elapsed) = d.progress(5_000);
+        assert!((0.49..=0.51).contains(&elapsed));
+        assert!(done >= 0.45, "done {done}");
+    }
+}

@@ -1,0 +1,412 @@
+//! The assembled SoC: CPU cluster + GPU renderer + display controller +
+//! multi-channel DRAM behind the system NoC (Fig. 1).
+
+use crate::cpu::{CpuCoreModel, CpuEvent, CpuWorkload};
+use crate::display::DisplayController;
+use emerald_common::types::{AccessKind, Cycle, TrafficSource};
+use emerald_core::renderer::FrameStats;
+use emerald_core::state::{DrawCall, RenderTarget};
+use emerald_core::{GfxConfig, GpuRenderer};
+use emerald_gpu::gpu::MemPort;
+use emerald_gpu::GpuConfig;
+use emerald_mem::image::SharedMem;
+use emerald_mem::req::{MemRequest, MemResponse, ReqIdGen};
+use emerald_mem::system::{MemorySystem, MemorySystemConfig};
+use std::collections::VecDeque;
+
+/// SoC configuration.
+#[derive(Debug, Clone)]
+pub struct SocConfig {
+    /// GPU microarchitecture.
+    pub gpu: GpuConfig,
+    /// Graphics pipeline parameters.
+    pub gfx: GfxConfig,
+    /// Memory organization + scheduler (BAS/DASH/HMC).
+    pub memsys: MemorySystemConfig,
+    /// Framebuffer width.
+    pub width: u32,
+    /// Framebuffer height.
+    pub height: u32,
+    /// GPU frame deadline in cycles (the paper's 33 ms / 30 FPS analogue;
+    /// scaled to simulation size by the experiment harness).
+    pub gpu_frame_period: Cycle,
+    /// Display refresh period in cycles (16 ms / 60 FPS analogue).
+    pub display_period: Cycle,
+    /// Per-core CPU scripts (core 0 must be the driver).
+    pub cpu_workloads: Vec<CpuWorkload>,
+    /// Cycles between DASH deadline-feedback updates.
+    pub feedback_interval: Cycle,
+}
+
+impl SocConfig {
+    /// The case study I system (Table 5): 4 CPU cores, 4-core GPU,
+    /// 2-channel LPDDR3 — with the given memory-system configuration.
+    pub fn case_study_1(
+        memsys: MemorySystemConfig,
+        width: u32,
+        height: u32,
+        gpu_frame_period: Cycle,
+    ) -> Self {
+        Self {
+            gpu: GpuConfig::case_study_1(),
+            gfx: GfxConfig::case_study_1(),
+            memsys,
+            width,
+            height,
+            gpu_frame_period,
+            display_period: gpu_frame_period / 2, // 60 vs 30 FPS
+            cpu_workloads: vec![
+                CpuWorkload::driver(),
+                CpuWorkload::streamer(),
+                CpuWorkload::compute(),
+                CpuWorkload::mixed(),
+            ],
+            feedback_interval: 1_000,
+        }
+    }
+}
+
+/// Results of one application frame on the SoC.
+#[derive(Debug, Clone)]
+pub struct SocFrameRecord {
+    /// Cycles from draw submission to GPU completion.
+    pub gpu_cycles: Cycle,
+    /// Total frame time (CPU prepare → everyone at the frame barrier).
+    pub total_cycles: Cycle,
+    /// Renderer statistics for the frame.
+    pub gfx: FrameStats,
+}
+
+struct SocPort<'a> {
+    memsys: &'a mut MemorySystem,
+    resp: &'a mut VecDeque<MemResponse>,
+}
+
+impl MemPort for SocPort<'_> {
+    fn tick(&mut self, _now: Cycle) {}
+
+    fn try_send(&mut self, req: MemRequest, now: Cycle) -> Result<(), MemRequest> {
+        self.memsys.enqueue(req, now)
+    }
+
+    fn recv(&mut self, _now: Cycle) -> Option<MemResponse> {
+        self.resp.pop_front()
+    }
+}
+
+/// The full SoC.
+#[derive(Debug)]
+pub struct Soc {
+    cfg: SocConfig,
+    /// The shared memory image.
+    pub mem: SharedMem,
+    /// The memory system (public for stats/probes).
+    pub memsys: MemorySystem,
+    /// The GPU renderer (public for stats).
+    pub renderer: GpuRenderer,
+    /// The render target the app draws into and the display scans.
+    pub rt: RenderTarget,
+    cpus: Vec<CpuCoreModel>,
+    display: DisplayController,
+    ids: ReqIdGen,
+    gpu_resp: VecDeque<MemResponse>,
+    now: Cycle,
+    expected_frags: u64,
+    frames_rendered: u64,
+}
+
+impl Soc {
+    /// Builds the SoC; allocates the framebuffer from a fresh image.
+    pub fn new(cfg: SocConfig) -> Self {
+        let mem = SharedMem::with_capacity(256 << 20);
+        let rt = RenderTarget::alloc(&mem, cfg.width, cfg.height);
+        rt.clear(&mem, [0.05, 0.05, 0.08, 1.0], 1.0);
+        let renderer = GpuRenderer::new(cfg.gpu.clone(), cfg.gfx.clone(), mem.clone(), rt);
+        let memsys = MemorySystem::new(cfg.memsys.clone());
+        let cpus = cfg
+            .cpu_workloads
+            .iter()
+            .enumerate()
+            .map(|(i, w)| CpuCoreModel::new(i, w.clone(), &mem, 0x50C0 + i as u64))
+            .collect();
+        let fb_bytes = cfg.width as u64 * cfg.height as u64 * 4;
+        let display = DisplayController::new(rt.color_base, fb_bytes, cfg.display_period);
+        Self {
+            mem,
+            memsys,
+            renderer,
+            rt,
+            cpus,
+            display,
+            ids: ReqIdGen::new(),
+            gpu_resp: VecDeque::new(),
+            now: 0,
+            expected_frags: 0,
+            frames_rendered: 0,
+            cfg,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Display statistics.
+    pub fn display_stats(&self) -> crate::display::DisplayStats {
+        self.display.stats()
+    }
+
+    /// CPU statistics per core.
+    pub fn cpu_stats(&self) -> Vec<crate::cpu::CpuStats> {
+        self.cpus.iter().map(|c| c.stats()).collect()
+    }
+
+    fn route_responses(&mut self) {
+        for r in self.memsys.drain_finished(self.now) {
+            match r.source {
+                TrafficSource::Gpu => {
+                    if r.kind == AccessKind::Read {
+                        self.gpu_resp.push_back(r);
+                    }
+                }
+                TrafficSource::Cpu(i) => {
+                    if r.kind == AccessKind::Read {
+                        if let Some(c) = self.cpus.get_mut(i) {
+                            c.on_response();
+                        }
+                    }
+                }
+                TrafficSource::Display => {
+                    if r.kind == AccessKind::Read {
+                        self.display.on_response(r.bytes);
+                    }
+                }
+                TrafficSource::OtherIp(_) => {}
+            }
+        }
+    }
+
+    fn dash_feedback(&mut self, gpu_active: bool, gpu_start: Cycle) {
+        if !self.now.is_multiple_of(self.cfg.feedback_interval) {
+            return;
+        }
+        let Some(dash) = self.memsys.dash() else {
+            return;
+        };
+        if gpu_active {
+            let done = if self.expected_frags == 0 {
+                1.0
+            } else {
+                self.renderer.fragments_launched() as f64 / self.expected_frags as f64
+            };
+            let elapsed =
+                (self.now - gpu_start) as f64 / self.cfg.gpu_frame_period as f64;
+            dash.update_progress(TrafficSource::Gpu, done.min(1.0), elapsed.min(1.0));
+        } else {
+            dash.update_progress(TrafficSource::Gpu, 1.0, 1.0);
+        }
+        let (done, elapsed) = self.display.progress(self.now);
+        dash.update_progress(TrafficSource::Display, done, elapsed);
+    }
+
+    /// Runs one application frame: releases the CPU frame barrier, submits
+    /// `draws` when the driver reaches its submit point, and returns when
+    /// the GPU is done and every core reached the barrier again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame exceeds `max_cycles`.
+    pub fn run_frame(&mut self, draws: Vec<DrawCall>, max_cycles: Cycle) -> SocFrameRecord {
+        let frame_start = self.now;
+        // Per-frame clear, as the app would issue (functionally instant;
+        // real hardware fast-clears via metadata, which we do not model).
+        self.rt.clear(&self.mem, [0.05, 0.05, 0.08, 1.0], 1.0);
+        for c in &mut self.cpus {
+            c.begin_frame();
+        }
+        self.renderer.begin_frame();
+        let mut draws = Some(draws);
+        let mut gpu_start = self.now;
+        let mut gpu_cycles = 0;
+        let mut gpu_active = false;
+        let mut gpu_done = false;
+
+        loop {
+            self.now += 1;
+            let now = self.now;
+
+            // Memory system and response routing.
+            self.memsys.tick(now);
+            self.route_responses();
+
+            // Display scanout. On backpressure every drained request is
+            // re-queued — dropping one would lose its response forever.
+            self.display.tick(now, &mut self.ids);
+            let mut blocked = false;
+            for req in self.display.drain_requests() {
+                if blocked {
+                    self.display.requeue(req);
+                } else if let Err(back) = self.memsys.enqueue(req, now) {
+                    self.display.requeue(back);
+                    blocked = true;
+                }
+            }
+
+            // CPU cores.
+            for i in 0..self.cpus.len() {
+                let ev = self.cpus[i].tick(now, gpu_done, &mut self.ids);
+                if ev == CpuEvent::IssueDraw {
+                    if let Some(ds) = draws.take() {
+                        for d in ds {
+                            self.renderer.draw(d);
+                        }
+                        gpu_start = now;
+                        gpu_active = true;
+                    }
+                }
+                let mut blocked = false;
+                for req in self.cpus[i].drain_requests() {
+                    if blocked {
+                        self.cpus[i].requeue(req);
+                    } else if let Err(back) = self.memsys.enqueue(req, now) {
+                        self.cpus[i].requeue(back);
+                        blocked = true;
+                    }
+                }
+            }
+
+            // GPU renderer.
+            {
+                let mut port = SocPort {
+                    memsys: &mut self.memsys,
+                    resp: &mut self.gpu_resp,
+                };
+                self.renderer.cycle(now, &mut port);
+            }
+            if gpu_active && !gpu_done && self.renderer.is_idle() {
+                gpu_done = true;
+                gpu_cycles = now - gpu_start;
+            }
+
+            // DASH deadline feedback.
+            self.dash_feedback(gpu_active && !gpu_done, gpu_start);
+
+            if gpu_done && self.cpus.iter().all(|c| c.at_frame_end()) {
+                break;
+            }
+            if std::env::var_os("EMERALD_SOC_DEBUG").is_some() && (now - frame_start).is_multiple_of(500_000) {
+                eprintln!(
+                    "[soc dbg] t={} gpu_active={} gpu_done={} cpu_end={:?} rend: {}",
+                    now - frame_start,
+                    gpu_active,
+                    gpu_done,
+                    self.cpus.iter().map(|c| c.at_frame_end()).collect::<Vec<_>>(),
+                    self.renderer.debug_snapshot()
+                );
+            }
+            assert!(
+                now - frame_start < max_cycles,
+                "SoC frame exceeded {max_cycles} cycles"
+            );
+        }
+
+        let gfx = self.renderer.frame_stats(gpu_cycles);
+        self.expected_frags = gfx.fragments.max(1);
+        self.frames_rendered += 1;
+        SocFrameRecord {
+            gpu_cycles,
+            total_cycles: self.now - frame_start,
+            gfx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emerald_core::shaders::{self, FsOptions};
+    use emerald_core::state::{Topology, VertexBuffer};
+    use emerald_common::math::{Mat4, Vec3};
+    use emerald_mem::dram::DramConfig;
+    use emerald_scene::mesh::unit_cube;
+
+    fn small_soc(memsys: MemorySystemConfig) -> Soc {
+        let mut cfg = SocConfig::case_study_1(memsys, 64, 48, 400_000);
+        // Shrink CPU scripts so tests run fast.
+        cfg.cpu_workloads = vec![
+            CpuWorkload::driver(),
+            CpuWorkload::compute(),
+        ];
+        Soc::new(cfg)
+    }
+
+    fn cube_draw(soc: &Soc, frame: u32) -> DrawCall {
+        let a = 0.4 + frame as f32 * 0.08;
+        let mvp = Mat4::perspective(60f32.to_radians(), 64.0 / 48.0, 0.1, 50.0).mul_mat4(
+            &Mat4::look_at(
+                Vec3::new(2.0 * a.cos(), 1.0, 2.0 * a.sin()),
+                Vec3::splat(0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+            ),
+        );
+        let fso = FsOptions {
+            textured: false,
+            ..FsOptions::default()
+        };
+        DrawCall {
+            vb: VertexBuffer::upload(&soc.mem, &unit_cube()),
+            topology: Topology::Triangles,
+            vs: shaders::vertex_transform(),
+            fs: shaders::fragment_shader(fso),
+            mvp: mvp.to_array(),
+            depth_test: true,
+            depth_write: true,
+            blend: false,
+            texture: None,
+        }
+    }
+
+    #[test]
+    fn soc_renders_frames_end_to_end() {
+        let mut soc = small_soc(MemorySystemConfig::baseline(2, DramConfig::lpddr3_1333()));
+        for f in 0..2 {
+            let d = cube_draw(&soc, f);
+            let rec = soc.run_frame(vec![d], 30_000_000);
+            assert!(rec.gpu_cycles > 0, "frame {f}");
+            assert!(rec.total_cycles >= rec.gpu_cycles);
+            assert!(rec.gfx.fragments > 100);
+        }
+        // All agents produced memory traffic.
+        let stats = soc.memsys.stats();
+        assert!(stats.source_bytes.contains_key(&TrafficSource::Gpu));
+        assert!(stats.source_bytes.contains_key(&TrafficSource::Cpu(0)));
+        assert!(stats.source_bytes.contains_key(&TrafficSource::Display));
+        // The framebuffer contains the cube.
+        let lit = soc
+            .rt
+            .read_color(&soc.mem)
+            .iter()
+            .filter(|&&p| p != emerald_common::math::pack_rgba8(0.05, 0.05, 0.08, 1.0))
+            .count();
+        assert!(lit > 100, "only {lit} pixels differ from clear color");
+    }
+
+    #[test]
+    fn hmc_slows_gpu_vs_baseline() {
+        // The headline effect of case study I (Fig. 9): partitioning the
+        // GPU onto one channel roughly doubles its render time.
+        let mut bas = small_soc(MemorySystemConfig::baseline(2, DramConfig::lpddr3_1333()));
+        let mut hmc = small_soc(MemorySystemConfig::hmc(2, DramConfig::lpddr3_1333()));
+        let d1 = cube_draw(&bas, 0);
+        let d2 = cube_draw(&hmc, 0);
+        let r_bas = bas.run_frame(vec![d1], 30_000_000);
+        let r_hmc = hmc.run_frame(vec![d2], 30_000_000);
+        assert!(
+            r_hmc.gpu_cycles > r_bas.gpu_cycles,
+            "hmc {} vs bas {}",
+            r_hmc.gpu_cycles,
+            r_bas.gpu_cycles
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! DFSL in action: renders an orbiting-camera sequence of the W4 workload,
+//! letting the controller evaluate WT sizes 1-6 and then run at the best —
+//! a miniature of case study II's Figure 19.
+//!
+//! Run with: `cargo run --release --example dfsl_demo`
+
+use emerald::prelude::*;
+
+fn main() {
+    let (w, h) = (256u32, 192u32);
+    let wl = &emerald::scene::workloads::w_models()[3]; // W4 Suzanne
+    let mem = SharedMem::with_capacity(1 << 27);
+    let rt = RenderTarget::alloc(&mem, w, h);
+    let mut r = GpuRenderer::new(
+        GpuConfig::case_study_2(),
+        GfxConfig::case_study_2(),
+        mem.clone(),
+        rt,
+    );
+    let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
+        4,
+        DramConfig::lpddr3_1600(),
+    )));
+    let binding = SceneBinding::new(&mem, wl);
+
+    let cfg = DfslConfig {
+        min_wt: 1,
+        max_wt: 6,
+        run_frames: 6,
+    };
+    let mut dfsl = DfslController::new(cfg);
+    println!("frame  phase       wt  cycles");
+    for f in 0..(cfg.eval_frames() + cfg.run_frames) {
+        let wt = dfsl.wt_for_frame();
+        let phase = format!("{:?}", dfsl.phase());
+        rt.clear(&mem, [0.0; 4], 1.0);
+        r.set_wt(wt);
+        r.draw(binding.draw_for_frame(f, w as f32 / h as f32, false));
+        let s = r.run_frame(&mut port, 200_000_000);
+        dfsl.observe(s.cycles);
+        println!("{f:>5}  {phase:<11} {wt:>2}  {}", s.cycles);
+    }
+    println!("DFSL selected WT {} after evaluation", dfsl.best_wt());
+}

@@ -1,0 +1,56 @@
+//! Quickstart: render one frame of a textured cube on the simulated GPU
+//! and print the timing/statistics the simulator collects.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use emerald::prelude::*;
+
+fn main() {
+    // 1. Simulated physical memory, a render target and the GPU model
+    //    (Table 7 of the paper: 6 SIMT clusters, 2 MB L2).
+    let mem = SharedMem::with_capacity(1 << 26);
+    let rt = RenderTarget::alloc(&mem, 256, 192);
+    rt.clear(&mem, [0.02, 0.02, 0.05, 1.0], 1.0);
+    let mut renderer = GpuRenderer::new(
+        GpuConfig::case_study_2(),
+        GfxConfig::case_study_2(),
+        mem.clone(),
+        rt,
+    );
+
+    // 2. A 4-channel DRAM system behind the GPU (standalone mode).
+    let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
+        4,
+        DramConfig::lpddr3_1600(),
+    )));
+
+    // 3. Bind the W3 workload (textured cube) and draw a frame.
+    let cube = &emerald::scene::workloads::w_models()[2];
+    let binding = SceneBinding::new(&mem, cube);
+    renderer.draw(binding.draw_for_frame(0, 256.0 / 192.0, false));
+    let stats = renderer.run_frame(&mut port, 100_000_000);
+
+    println!("rendered {} ({})", cube.id, cube.name);
+    println!("  GPU cycles        : {}", stats.cycles);
+    println!("  primitives        : {} drawn, {} culled", stats.prims_distributed, stats.prims_culled);
+    println!("  fragments shaded  : {}", stats.fragments);
+    println!("  instructions      : {}", stats.instructions);
+    println!("  L1 misses (D/T/Z) : {}/{}/{}", stats.l1d_misses, stats.l1t_misses, stats.l1z_misses);
+    println!("  DRAM reads/writes : {}/{}", stats.dram_reads, stats.dram_writes);
+
+    // 4. The frame is a real image in simulated memory. Write it out and
+    //    print a tiny ASCII thumbnail.
+    std::fs::write("quickstart.ppm", rt.to_ppm(&mem)).ok();
+    println!("  wrote quickstart.ppm");
+    let img = rt.read_color(&mem);
+    for y in (0..192).step_by(16) {
+        let mut row = String::new();
+        for x in (0..256).step_by(8) {
+            let px = img[(y * 256 + x) as usize];
+            let [r, g, b, _] = emerald::common::math::unpack_rgba8(px);
+            let lum = 0.3 * r + 0.6 * g + 0.1 * b;
+            row.push([' ', '.', ':', 'o', '#'][(lum * 4.99) as usize]);
+        }
+        println!("  |{row}|");
+    }
+}

@@ -1,0 +1,41 @@
+//! Standalone-mode rendering across all six case-study-II workloads
+//! (Table 8), printing per-workload pipeline statistics — the kind of
+//! experiment §6 builds on.
+//!
+//! Run with: `cargo run --release --example render_scene`
+
+use emerald::prelude::*;
+
+fn main() {
+    let (w, h) = (256u32, 192u32);
+    println!("{:<4} {:>8} {:>8} {:>9} {:>9} {:>8} {:>8}",
+        "id", "tris", "cycles", "frags", "hiz-kill", "tc-tiles", "l1-miss");
+    for wl in emerald::scene::workloads::w_models() {
+        let mem = SharedMem::with_capacity(1 << 27);
+        let rt = RenderTarget::alloc(&mem, w, h);
+        rt.clear(&mem, [0.0; 4], 1.0);
+        let mut r = GpuRenderer::new(
+            GpuConfig::case_study_2(),
+            GfxConfig::case_study_2(),
+            mem.clone(),
+            rt,
+        );
+        let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
+            4,
+            DramConfig::lpddr3_1600(),
+        )));
+        let binding = SceneBinding::new(&mem, &wl);
+        r.draw(binding.draw_for_frame(0, w as f32 / h as f32, false));
+        let s = r.run_frame(&mut port, 200_000_000);
+        println!(
+            "{:<4} {:>8} {:>8} {:>9} {:>9} {:>8} {:>8}",
+            wl.id,
+            wl.mesh.tri_count(),
+            s.cycles,
+            s.fragments,
+            s.hiz_killed,
+            s.tc_tiles,
+            s.l1_misses_total()
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Full-system mode: the M2 workload on the complete SoC (CPU cluster +
+//! GPU + display + 2-channel DRAM), comparing the baseline memory system
+//! against HMC — a miniature of case study I.
+//!
+//! Run with: `cargo run --release --example soc_frame`
+
+use emerald::prelude::*;
+use emerald::soc::experiment::{calibrate_period, run_cell, RunParams};
+use emerald::mem::dram::DramConfig as Dram;
+
+fn main() {
+    let (w, h) = (160u32, 120u32);
+    let m2 = &emerald::scene::workloads::m_models()[1];
+    let period = calibrate_period(m2, w, h);
+    println!("calibrated GPU frame period: {period} cycles");
+    let params = RunParams {
+        width: w,
+        height: h,
+        frames: 3,
+        dram: Dram::lpddr3_1333(),
+        gpu_frame_period: period,
+        probe_window: None,
+        max_cycles_per_frame: 400_000_000,
+    };
+    for kind in [MemCfgKind::Bas, MemCfgKind::Dcb, MemCfgKind::Hmc] {
+        let cell = run_cell(m2, kind, &params);
+        println!(
+            "{:>4}: avg GPU frame {:>9.0} cycles | avg total frame {:>9.0} | row-hit {:>5.1}% | display bytes {:>9}",
+            cell.config,
+            cell.avg_gpu_cycles,
+            cell.avg_total_cycles,
+            cell.row_hit_rate * 100.0,
+            cell.display_serviced_bytes,
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Bit-reproducibility: identical configurations must produce identical
+//! cycle counts, images and statistics — the property that makes a
+//! simulator's experiments trustworthy.
+
+use emerald::core::session::SceneBinding;
+use emerald::prelude::*;
+
+fn render_once() -> (u64, Vec<u32>, u64) {
+    let mem = SharedMem::with_capacity(1 << 26);
+    let rt = RenderTarget::alloc(&mem, 64, 48);
+    rt.clear(&mem, [0.0; 4], 1.0);
+    let mut r = GpuRenderer::new(GpuConfig::tiny(), GfxConfig::case_study_2(), mem.clone(), rt);
+    let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
+        2,
+        DramConfig::lpddr3_1600(),
+    )));
+    let wl = emerald::scene::workloads::w_models().swap_remove(1);
+    let binding = SceneBinding::new(&mem, &wl);
+    r.draw(binding.draw_for_frame(0, 64.0 / 48.0, false));
+    let s = r.run_frame(&mut port, 100_000_000);
+    (s.cycles, rt.read_color(&mem), s.instructions)
+}
+
+#[test]
+fn standalone_render_is_bit_reproducible() {
+    let (c1, img1, i1) = render_once();
+    let (c2, img2, i2) = render_once();
+    assert_eq!(c1, c2, "cycle counts differ");
+    assert_eq!(i1, i2, "instruction counts differ");
+    assert_eq!(img1, img2, "images differ");
+}
+
+#[test]
+fn soc_frames_are_bit_reproducible() {
+    use emerald::mem::dram::DramConfig as Dram;
+    use emerald::soc::experiment::{run_cell, MemCfgKind, RunParams};
+    let m2 = &emerald::scene::workloads::m_models()[1];
+    let params = RunParams {
+        width: 48,
+        height: 32,
+        frames: 2,
+        dram: Dram::lpddr3_1333(),
+        gpu_frame_period: 200_000,
+        probe_window: None,
+        max_cycles_per_frame: 100_000_000,
+    };
+    let a = run_cell(m2, MemCfgKind::Dcb, &params);
+    let b = run_cell(m2, MemCfgKind::Dcb, &params);
+    assert_eq!(a.avg_gpu_cycles, b.avg_gpu_cycles);
+    assert_eq!(a.avg_total_cycles, b.avg_total_cycles);
+    assert_eq!(a.display_serviced_bytes, b.display_serviced_bytes);
+}

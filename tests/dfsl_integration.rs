@@ -1,0 +1,83 @@
+//! DFSL on the real pipeline: the controller must pick the measured-best
+//! WT and the run phase must not be slower than the worst static choice.
+
+use emerald::core::session::SceneBinding;
+use emerald::prelude::*;
+
+#[test]
+fn dfsl_converges_to_measured_best_wt() {
+    let (w, h) = (64u32, 48u32);
+    let wl = emerald::scene::workloads::w_models().swap_remove(2);
+    let mem = SharedMem::with_capacity(1 << 26);
+    let rt = RenderTarget::alloc(&mem, w, h);
+    let mut r = GpuRenderer::new(GpuConfig::tiny(), GfxConfig::case_study_2(), mem.clone(), rt);
+    let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
+        2,
+        DramConfig::lpddr3_1600(),
+    )));
+    let binding = SceneBinding::new(&mem, &wl);
+    let cfg = DfslConfig {
+        min_wt: 1,
+        max_wt: 4,
+        run_frames: 3,
+    };
+    let mut dfsl = DfslController::new(cfg);
+    let mut eval_times = Vec::new();
+    for f in 0..cfg.eval_frames() + cfg.run_frames {
+        let wt = dfsl.wt_for_frame();
+        rt.clear(&mem, [0.0; 4], 1.0);
+        r.set_wt(wt);
+        r.draw(binding.draw_for_frame(f, w as f32 / h as f32, false));
+        let s = r.run_frame(&mut port, 100_000_000);
+        if f < cfg.eval_frames() {
+            eval_times.push(s.cycles);
+        }
+        dfsl.observe(s.cycles);
+    }
+    let best_measured = eval_times
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &c)| c)
+        .map(|(i, _)| i as u32 + 1)
+        .unwrap();
+    assert_eq!(dfsl.best_wt(), best_measured);
+}
+
+#[test]
+fn draw_level_dfsl_tracks_two_draws_independently() {
+    use emerald::core::dfsl::DrawLevelDfsl;
+    let (w, h) = (64u32, 48u32);
+    let mem = SharedMem::with_capacity(1 << 26);
+    let rt = RenderTarget::alloc(&mem, w, h);
+    let mut r = GpuRenderer::new(GpuConfig::tiny(), GfxConfig::case_study_2(), mem.clone(), rt);
+    let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
+        2,
+        DramConfig::lpddr3_1600(),
+    )));
+    // Two draws per frame: the room (geometry heavy) and a sphere.
+    let models = emerald::scene::workloads::w_models();
+    let room = emerald::core::session::SceneBinding::new(&mem, &models[0]);
+    let blob = emerald::core::session::SceneBinding::new(&mem, &models[1]);
+    let cfg = DfslConfig {
+        min_wt: 1,
+        max_wt: 3,
+        run_frames: 2,
+    };
+    let mut dfsl = DrawLevelDfsl::new(cfg);
+    for f in 0..(cfg.eval_frames() + cfg.run_frames) {
+        rt.clear(&mem, [0.0; 4], 1.0);
+        let wt0 = dfsl.wt_for_draw(0);
+        let wt1 = dfsl.wt_for_draw(1);
+        r.draw_with_wt(room.draw_for_frame(f, w as f32 / h as f32, false), wt0);
+        r.draw_with_wt(blob.draw_for_frame(f, w as f32 / h as f32, false), wt1);
+        r.run_frame(&mut port, 200_000_000);
+        let times = r.draw_times().to_vec();
+        assert_eq!(times.len(), 2, "two draws per frame");
+        assert!(times.iter().all(|&t| t > 0));
+        dfsl.observe_draw(0, times[0]);
+        dfsl.observe_draw(1, times[1]);
+    }
+    let best = dfsl.best_wts();
+    assert_eq!(best.len(), 2);
+    assert!(best.iter().all(|&wt| (1..=3).contains(&wt)));
+}
