@@ -1,0 +1,106 @@
+//! A tiny deterministic property-test harness.
+//!
+//! The offline build cannot depend on external crates, so randomized tests
+//! run on this in-tree harness instead of `proptest`. Each property runs a
+//! fixed number of cases drawn from [`Xorshift64`] streams seeded purely from
+//! the case index, so every run of the suite exercises exactly the same
+//! inputs and failures reproduce without a regression file.
+
+use crate::rng::Xorshift64;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default number of cases for [`check`].
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Runs `prop` against `cases` deterministic RNG streams. On failure the
+/// panic is re-raised annotated with the property name, case index and seed,
+/// so the exact case can be replayed with [`replay`].
+pub fn check_n<F>(name: &str, cases: u32, mut prop: F)
+where
+    F: FnMut(&mut Xorshift64),
+{
+    for case in 0..cases {
+        let seed = case_seed(case);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = Xorshift64::new(seed);
+            prop(&mut rng);
+        }));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            panic!("property '{name}' failed on case {case} (seed {seed:#x}): {msg}");
+        }
+    }
+}
+
+/// [`check_n`] with [`DEFAULT_CASES`] cases.
+pub fn check<F>(name: &str, prop: F)
+where
+    F: FnMut(&mut Xorshift64),
+{
+    check_n(name, DEFAULT_CASES, prop);
+}
+
+/// Re-runs a single failing case by seed (as printed by [`check_n`]).
+pub fn replay<F>(seed: u64, mut prop: F)
+where
+    F: FnMut(&mut Xorshift64),
+{
+    let mut rng = Xorshift64::new(seed);
+    prop(&mut rng);
+}
+
+/// The seed used for a given case index. SplitMix64-style scrambling keeps
+/// neighbouring cases' streams uncorrelated.
+pub fn case_seed(case: u32) -> u64 {
+    let mut z = (case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_distinct_and_nonzero() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..1000 {
+            let s = case_seed(i);
+            assert_ne!(s, 0);
+            assert!(seen.insert(s), "duplicate seed at case {i}");
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut runs = 0;
+        check_n("counts", 10, |_| runs += 1);
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    fn failure_reports_case_and_seed() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            check_n("always_fails", 3, |_| panic!("boom"));
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "got: {msg}");
+        assert!(msg.contains("case 0"), "got: {msg}");
+        assert!(msg.contains("boom"), "got: {msg}");
+    }
+
+    #[test]
+    fn replay_reproduces_stream() {
+        let mut a = Vec::new();
+        check_n("record", 1, |rng| a.push(rng.next_u64()));
+        let mut b = Vec::new();
+        replay(case_seed(0), |rng| b.push(rng.next_u64()));
+        assert_eq!(a, b);
+    }
+}

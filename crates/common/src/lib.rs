@@ -11,6 +11,8 @@
 //! * [`math`] — vectors, matrices and geometric helpers for the graphics
 //!   pipeline (3D transforms, bounding boxes, barycentrics).
 //! * [`fifo`] — bounded queues, the basic plumbing of the timing model.
+//! * [`check`] — a tiny deterministic property-test harness, so randomized
+//!   tests need no external crates (the build must work offline).
 //!
 //! # Example
 //!
@@ -24,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod fifo;
 pub mod math;
 pub mod rng;

@@ -505,8 +505,12 @@ mod tests {
     #[test]
     fn perspective_maps_near_and_far_planes() {
         let m = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 1.0, 10.0);
-        let near = m.mul_vec4(Vec4::new(0.0, 0.0, -1.0, 1.0)).perspective_divide();
-        let far = m.mul_vec4(Vec4::new(0.0, 0.0, -10.0, 1.0)).perspective_divide();
+        let near = m
+            .mul_vec4(Vec4::new(0.0, 0.0, -1.0, 1.0))
+            .perspective_divide();
+        let far = m
+            .mul_vec4(Vec4::new(0.0, 0.0, -10.0, 1.0))
+            .perspective_divide();
         assert!(approx(near.z, -1.0));
         assert!(approx(far.z, 1.0));
     }

@@ -101,6 +101,36 @@ impl Summary {
             self.max
         }
     }
+
+    /// Reconstructs a summary from previously-exported parts. `min`/`max` are
+    /// ignored when `count == 0`.
+    pub fn from_parts(count: u64, sum: f64, min: f64, max: f64) -> Self {
+        if count == 0 {
+            Self::default()
+        } else {
+            Self {
+                count,
+                sum,
+                min,
+                max,
+            }
+        }
+    }
+
+    /// Merges another summary's samples into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// A fixed-width-bucket histogram over `[0, bucket_width * buckets)`, with an
@@ -132,14 +162,61 @@ impl Histogram {
         self.counts[idx] += 1;
     }
 
+    /// Reconstructs a histogram from previously-exported parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width == 0` or `counts` is empty.
+    pub fn from_counts(bucket_width: u64, counts: Vec<u64>) -> Self {
+        assert!(bucket_width > 0 && !counts.is_empty());
+        Self {
+            bucket_width,
+            counts,
+        }
+    }
+
     /// Per-bucket counts; the last entry is the overflow bucket.
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
 
+    /// Width of each regular bucket.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
     /// Total samples recorded.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// Merges another histogram's counts into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket widths differ. When the bucket counts differ the
+    /// shorter histogram is widened first and overflow samples stay in the
+    /// (new) overflow bucket — an approximation, since their exact values are
+    /// unknown.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "cannot merge histograms with different bucket widths"
+        );
+        if other.counts.len() > self.counts.len() {
+            // Keep the overflow bucket last: move our old overflow count into
+            // the bucket range it now falls inside of.
+            let old_overflow_idx = self.counts.len() - 1;
+            self.counts.resize(other.counts.len(), 0);
+            let moved = self.counts[old_overflow_idx];
+            self.counts[old_overflow_idx] = 0;
+            *self.counts.last_mut().unwrap() += moved;
+        }
+        let last = self.counts.len() - 1;
+        for (i, &c) in other.counts.iter().enumerate() {
+            let idx = if i == other.counts.len() - 1 { last } else { i };
+            self.counts[idx] += c;
+        }
     }
 }
 
@@ -175,7 +252,8 @@ impl BandwidthProbe {
     pub fn record(&mut self, cycle: Cycle, bytes: u64) {
         let w = cycle / self.window;
         while w > self.cur_window {
-            self.samples.push((self.cur_window * self.window, self.cur_bytes));
+            self.samples
+                .push((self.cur_window * self.window, self.cur_bytes));
             self.cur_bytes = 0;
             self.cur_window += 1;
         }
@@ -186,7 +264,8 @@ impl BandwidthProbe {
     /// Flushes the current partial window and returns `(window_start_cycle,
     /// bytes_in_window)` samples.
     pub fn finish(mut self) -> Vec<(Cycle, u64)> {
-        self.samples.push((self.cur_window * self.window, self.cur_bytes));
+        self.samples
+            .push((self.cur_window * self.window, self.cur_bytes));
         self.samples
     }
 

@@ -76,9 +76,7 @@ fn lists_overlapped(dc: &DrawCall) -> Vec<VertexWarp> {
 
 fn lists_packed(dc: &DrawCall) -> Vec<VertexWarp> {
     let n_prims = dc.prim_count();
-    let corners: Vec<u32> = (0..n_prims)
-        .flat_map(|p| dc.prim_corners(p))
-        .collect();
+    let corners: Vec<u32> = (0..n_prims).flat_map(|p| dc.prim_corners(p)).collect();
     let mut warps: Vec<VertexWarp> = corners
         .chunks(32)
         .enumerate()
@@ -89,8 +87,7 @@ fn lists_packed(dc: &DrawCall) -> Vec<VertexWarp> {
         })
         .collect();
     for p in 0..n_prims {
-        let refs = [3 * p, 3 * p + 1, 3 * p + 2]
-            .map(|c| ((c / 32) as u32, (c % 32) as u8));
+        let refs = [3 * p, 3 * p + 1, 3 * p + 2].map(|c| ((c / 32) as u32, (c % 32) as u8));
         let anchor = refs[2].0 as usize;
         warps[anchor].prims.push(PrimRef {
             prim_id: p as u32,

@@ -121,9 +121,31 @@ impl DfslController {
             }
             if pos + 1 == self.cfg.eval_frames() {
                 self.evaluations += 1;
+                // The controller never sees a cycle count, so rebalance
+                // decisions are stamped with the frame number; the DFSL
+                // track is a frame-indexed timeline, not a cycle one.
+                emerald_obs::trace::instant_args(
+                    emerald_obs::TraceCat::Dfsl,
+                    "rebalance",
+                    0,
+                    self.frame as Cycle,
+                    &[
+                        ("best_wt", self.best_wt as u64),
+                        ("min_exec_cycles", self.min_exec),
+                        ("evaluation", self.evaluations as u64),
+                    ],
+                );
             }
         }
         self.frame += 1;
+    }
+
+    /// Publishes controller state into `reg` under `prefix` (e.g.
+    /// `gfx.dfsl` yields `gfx.dfsl.best_wt`, `.evaluations`, `.frames`).
+    pub fn publish(&self, reg: &mut emerald_obs::Registry, prefix: &str) {
+        reg.set_gauge(format!("{prefix}.best_wt"), self.best_wt as u64);
+        reg.set_counter(format!("{prefix}.evaluations"), self.evaluations as u64);
+        reg.set_counter(format!("{prefix}.frames"), self.frame as u64);
     }
 }
 

@@ -85,8 +85,7 @@ impl EnergyModel {
         let active = self.frame_energy_uj(s, dram_activations);
         let idle_cycles = period_cycles.saturating_sub(s.cycles);
         active
-            + self.static_pj_per_cycle * idle_power_fraction.clamp(0.0, 1.0)
-                * idle_cycles as f64
+            + self.static_pj_per_cycle * idle_power_fraction.clamp(0.0, 1.0) * idle_cycles as f64
                 / 1e6
     }
 }

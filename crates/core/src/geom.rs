@@ -71,11 +71,15 @@ pub fn setup_prim(
         return Err(CullReason::NearPlane);
     }
     // Frustum reject when all three vertices are outside one plane.
-    for (axis, sign) in [(0usize, 1.0f32), (0, -1.0), (1, 1.0), (1, -1.0), (2, 1.0), (2, -1.0)] {
-        if verts
-            .iter()
-            .all(|v| sign * v.pos.get(axis) > v.pos.w)
-        {
+    for (axis, sign) in [
+        (0usize, 1.0f32),
+        (0, -1.0),
+        (1, 1.0),
+        (1, -1.0),
+        (2, 1.0),
+        (2, -1.0),
+    ] {
+        if verts.iter().all(|v| sign * v.pos.get(axis) > v.pos.w) {
             return Err(CullReason::Frustum);
         }
     }
@@ -112,9 +116,8 @@ pub fn setup_prim(
 
     // Snap to the sub-pixel grid; coverage uses exact integer arithmetic
     // from here on. Clamp far-offscreen coordinates so products fit i64.
-    let snap = |v: f32| -> i64 {
-        ((v as f64 * SUBPIX as f64).round() as i64).clamp(-(1 << 24), 1 << 24)
-    };
+    let snap =
+        |v: f32| -> i64 { ((v as f64 * SUBPIX as f64).round() as i64).clamp(-(1 << 24), 1 << 24) };
     let xy_fx = [
         (snap(xy[0].x), snap(xy[0].y)),
         (snap(xy[1].x), snap(xy[1].y)),
@@ -170,7 +173,10 @@ impl ScreenPrim {
     /// Returns `(depth, varyings)` for covered pixels.
     #[allow(clippy::needless_range_loop)] // e[i] pairs with edge index i
     pub fn sample(&self, px: i32, py: i32) -> Option<(f32, [f32; NUM_VARYINGS])> {
-        let s = (px as i64 * SUBPIX + SUBPIX / 2, py as i64 * SUBPIX + SUBPIX / 2);
+        let s = (
+            px as i64 * SUBPIX + SUBPIX / 2,
+            py as i64 * SUBPIX + SUBPIX / 2,
+        );
         let mut e = [0i64; 3];
         for i in 0..3 {
             let a = self.xy_fx[i];
@@ -306,8 +312,7 @@ mod tests {
         let mut total = 0;
         for y in 0..16 {
             for x in 0..16 {
-                let hits =
-                    pa.sample(x, y).is_some() as u32 + pb.sample(x, y).is_some() as u32;
+                let hits = pa.sample(x, y).is_some() as u32 + pb.sample(x, y).is_some() as u32;
                 assert!(hits <= 1, "pixel ({x},{y}) double-covered");
                 total += hits;
             }

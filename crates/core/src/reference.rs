@@ -24,7 +24,7 @@ pub fn transform_vertex(mem: &SharedMem, dc: &DrawCall, vi: u32) -> ClipVert {
     let (nx, ny, nz) = (f(12), f(16), f(20));
     let (u, v) = (f(24), f(28));
     let m = &dc.mvp; // column-major
-    // Mirror mul / mad(=mul,add) / mad / add exactly.
+                     // Mirror mul / mad(=mul,add) / mad / add exactly.
     let row = |r: usize| {
         let t0 = px * m[r];
         let t1 = py * m[4 + r] + t0;
@@ -125,13 +125,11 @@ mod tests {
     use std::rc::Rc;
 
     fn draw_cube(mem: &SharedMem) -> DrawCall {
-        let mvp = Mat4::perspective(60f32.to_radians(), 1.0, 0.1, 50.0).mul_mat4(
-            &Mat4::look_at(
-                Vec3::new(1.6, 1.2, 1.8),
-                Vec3::splat(0.0),
-                Vec3::new(0.0, 1.0, 0.0),
-            ),
-        );
+        let mvp = Mat4::perspective(60f32.to_radians(), 1.0, 0.1, 50.0).mul_mat4(&Mat4::look_at(
+            Vec3::new(1.6, 1.2, 1.8),
+            Vec3::splat(0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        ));
         DrawCall {
             vb: VertexBuffer::upload(mem, &unit_cube()),
             topology: crate::state::Topology::Triangles,

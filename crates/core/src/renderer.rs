@@ -21,7 +21,7 @@ use crate::geom::{ClipVert, NUM_VARYINGS};
 use crate::shaders::{abi, vs_params};
 use crate::state::{DrawCall, RenderTarget, OVB_STRIDE};
 use crate::tcmap::TcMap;
-use crate::vpo::{Pmrb, PrimMask, VpoUnit, VpoStats};
+use crate::vpo::{Pmrb, PrimMask, VpoStats, VpoUnit};
 use emerald_common::math::Vec4;
 use emerald_common::types::{Addr, Cycle};
 use emerald_gpu::gpu::MemPort;
@@ -77,6 +77,34 @@ impl FrameStats {
     /// Total L1 misses across the four cache types (Fig. 18's metric).
     pub fn l1_misses_total(&self) -> u64 {
         self.l1d_misses + self.l1t_misses + self.l1z_misses + self.l1c_misses
+    }
+
+    /// Publishes the frame's counters into `reg` under `prefix` (e.g.
+    /// `gfx.frame` yields `gfx.frame.fragments`, `gfx.frame.core2.fragments`,
+    /// …).
+    pub fn publish(&self, reg: &mut emerald_obs::Registry, prefix: &str) {
+        reg.set_counter(format!("{prefix}.cycles"), self.cycles);
+        reg.set_counter(format!("{prefix}.vertex_warps"), self.vertex_warps);
+        reg.set_counter(format!("{prefix}.vertices_shaded"), self.vertices_shaded);
+        reg.set_counter(
+            format!("{prefix}.prims_distributed"),
+            self.prims_distributed,
+        );
+        reg.set_counter(format!("{prefix}.prims_culled"), self.prims_culled);
+        reg.set_counter(format!("{prefix}.fragments"), self.fragments);
+        reg.set_counter(format!("{prefix}.hiz_killed"), self.hiz_killed);
+        reg.set_counter(format!("{prefix}.tc_tiles"), self.tc_tiles);
+        reg.set_counter(format!("{prefix}.l1d_misses"), self.l1d_misses);
+        reg.set_counter(format!("{prefix}.l1t_misses"), self.l1t_misses);
+        reg.set_counter(format!("{prefix}.l1z_misses"), self.l1z_misses);
+        reg.set_counter(format!("{prefix}.l1c_misses"), self.l1c_misses);
+        reg.set_counter(format!("{prefix}.l2_misses"), self.l2_misses);
+        reg.set_counter(format!("{prefix}.dram_reads"), self.dram_reads);
+        reg.set_counter(format!("{prefix}.dram_writes"), self.dram_writes);
+        reg.set_counter(format!("{prefix}.instructions"), self.instructions);
+        for (i, f) in self.per_core_fragments.iter().enumerate() {
+            reg.set_counter(format!("{prefix}.core{i}.fragments"), *f);
+        }
     }
 }
 
@@ -197,6 +225,35 @@ impl GpuRenderer {
     /// The functional graphics context (texture bindings, stats).
     pub fn ctx(&self) -> &GfxCtx {
         &self.ctx
+    }
+
+    /// Publishes the renderer's instruments: the GPU (cores, L1s, L2) under
+    /// `{prefix}.gpu.*`, functional-context counters under `{prefix}.ctx.*`,
+    /// per-cluster pipeline counters under `{prefix}.clusterN.*`, and a
+    /// per-draw latency summary at `{prefix}.draw_cycles`.
+    pub fn publish(&self, reg: &mut emerald_obs::Registry, prefix: &str) {
+        self.gpu.publish(reg, &format!("{prefix}.gpu"));
+        let ctx = self.ctx.stats();
+        reg.set_counter(format!("{prefix}.ctx.ztest_pass"), ctx.ztest_pass);
+        reg.set_counter(format!("{prefix}.ctx.ztest_fail"), ctx.ztest_fail);
+        reg.set_counter(format!("{prefix}.ctx.tex_samples"), ctx.tex_samples);
+        reg.set_counter(format!("{prefix}.ctx.fb_writes"), ctx.fb_writes);
+        for (i, pipe) in self.pipes.iter().enumerate() {
+            let cs = pipe.stats();
+            let p = format!("{prefix}.cluster{i}");
+            reg.set_counter(format!("{p}.prims_setup"), cs.prims_setup);
+            reg.set_counter(format!("{p}.raster_tiles"), cs.raster_tiles);
+            reg.set_counter(format!("{p}.hiz_killed"), cs.hiz_killed);
+            reg.set_counter(format!("{p}.fragments"), cs.fragments);
+            reg.set_counter(format!("{p}.tc_tiles"), cs.tc_tiles);
+            reg.set_counter(format!("{p}.tc_conflict_flushes"), cs.tc_conflict_flushes);
+            reg.set_counter(format!("{p}.tc_timeout_flushes"), cs.tc_timeout_flushes);
+        }
+        let mut draws = emerald_common::stats::Summary::new();
+        for &t in &self.draw_times {
+            draws.add(t as f64);
+        }
+        reg.set_summary(format!("{prefix}.draw_cycles"), draws);
     }
 
     /// Current WT (work tile) size.
@@ -387,7 +444,8 @@ impl GpuRenderer {
             let mut cursor = cursor;
             // One warp launch attempt per cycle.
             if self.gpu.core(cluster).can_accept(&fs) {
-                let chunk: Vec<ThreadState> = tile.frags[cursor..(cursor + 32).min(tile.frags.len())]
+                let chunk: Vec<ThreadState> = tile.frags
+                    [cursor..(cursor + 32).min(tile.frags.len())]
                     .iter()
                     .map(|f| {
                         let mut t = ThreadState::new();
@@ -540,11 +598,10 @@ impl GpuRenderer {
         // 6. Cluster raster pipelines.
         let flush_tc = self.geometry_done();
         let mem = self.mem.clone();
-        let read_vert =
-            move |c: CornerRef| {
-                let slot = (c.0 as u64 * 32 + c.1 as u64) % ovb_slots;
-                Self::read_clip_vert(&mem, ovb_base + slot * OVB_STRIDE)
-            };
+        let read_vert = move |c: CornerRef| {
+            let slot = (c.0 as u64 * 32 + c.1 as u64) % ovb_slots;
+            Self::read_clip_vert(&mem, ovb_base + slot * OVB_STRIDE)
+        };
         for cl in 0..self.pipes.len() {
             self.pipes[cl].tick(
                 now,
@@ -566,6 +623,14 @@ impl GpuRenderer {
         // 8. Draw retirement.
         if self.draw_done() {
             if let Some(ds) = self.cur.take() {
+                emerald_obs::trace::span_args(
+                    emerald_obs::TraceCat::Draw,
+                    "drawcall",
+                    0,
+                    ds.started_at,
+                    now,
+                    &[("draw", self.draw_times.len() as u64)],
+                );
                 self.draw_times.push(now.saturating_sub(ds.started_at));
             }
         }
@@ -614,6 +679,13 @@ impl GpuRenderer {
                 "frame did not drain in {max_cycles} cycles"
             );
         }
+        emerald_obs::trace::span(
+            emerald_obs::TraceCat::Frame,
+            "render_frame",
+            0,
+            start,
+            self.clock,
+        );
         self.frame_stats(self.clock - start)
     }
 
@@ -664,11 +736,7 @@ impl GpuRenderer {
             fs.l1d_misses += core.l1(Surface::Data).expect("l1d").stats().misses();
             fs.l1t_misses += core.l1(Surface::Texture).expect("l1t").stats().misses();
             fs.l1z_misses += core.l1(Surface::Depth).expect("l1z").stats().misses();
-            fs.l1c_misses += core
-                .l1(Surface::ConstVertex)
-                .expect("l1c")
-                .stats()
-                .misses();
+            fs.l1c_misses += core.l1(Surface::ConstVertex).expect("l1c").stats().misses();
         }
         fs.l2_misses = self.gpu.l2().stats().misses();
         fs
@@ -680,6 +748,7 @@ mod tests {
     use super::*;
     use crate::reference::{diff_pixels, render_reference};
     use crate::shaders::{self, FsOptions};
+    use crate::state::TextureDesc;
     use crate::state::{Topology, VertexBuffer};
     use emerald_common::math::{Mat4, Vec3};
     use emerald_gpu::gpu::SimpleMemPort;
@@ -687,7 +756,6 @@ mod tests {
     use emerald_mem::system::{MemorySystem, MemorySystemConfig};
     use emerald_scene::mesh::{plane_grid, unit_cube, uv_sphere};
     use emerald_scene::texture::TextureData;
-    use crate::state::TextureDesc;
 
     const W: u32 = 64;
     const H: u32 = 64;
@@ -766,13 +834,7 @@ mod tests {
         let (mut r, mut port, mem, rt) = setup();
         let tex = TextureDesc::upload(&mem, &TextureData::checker(64, 8));
         let fso = FsOptions::default();
-        let dc = make_draw(
-            &mem,
-            &uv_sphere(0.9, 10, 14),
-            cube_mvp(3),
-            fso,
-            Some(tex),
-        );
+        let dc = make_draw(&mem, &uv_sphere(0.9, 10, 14), cube_mvp(3), fso, Some(tex));
         let ref_rt = RenderTarget::alloc(&mem, W, H);
         ref_rt.clear(&mem, [0.0; 4], 1.0);
         render_reference(&mem, ref_rt, &dc, fso);
@@ -834,13 +896,7 @@ mod tests {
             ..FsOptions::default()
         };
         let back = make_draw(&mem, &unit_cube(), cube_mvp(0), opaque, None);
-        let front = make_draw(
-            &mem,
-            &uv_sphere(0.8, 8, 10),
-            cube_mvp(1),
-            glass,
-            None,
-        );
+        let front = make_draw(&mem, &uv_sphere(0.8, 8, 10), cube_mvp(1), glass, None);
         let ref_rt = RenderTarget::alloc(&mem, W, H);
         ref_rt.clear(&mem, [0.0; 4], 1.0);
         render_reference(&mem, ref_rt, &back, opaque);

@@ -1,8 +1,10 @@
-//! Property tests for rasterization geometry.
+//! Property tests for rasterization geometry, on the in-tree deterministic
+//! harness (`emerald_common::check`); the offline build has no proptest.
 
+use emerald_common::check::check;
 use emerald_common::math::{signed_area2, Vec2, Vec4};
+use emerald_common::rng::Xorshift64;
 use emerald_core::geom::{setup_prim, ClipVert, NUM_VARYINGS};
-use proptest::prelude::*;
 
 const W: u32 = 32;
 const H: u32 = 32;
@@ -14,23 +16,27 @@ fn vert(x: f32, y: f32) -> ClipVert {
     }
 }
 
-fn coord() -> impl Strategy<Value = f32> {
-    (-12i32..=12).prop_map(|v| v as f32 / 10.0)
+/// A coordinate on the same 0.1-step grid in [-1.2, 1.2] the proptest
+/// version used (coarse grid maximizes degenerate/shared-edge cases).
+fn coord(rng: &mut Xorshift64) -> f32 {
+    (rng.below(25) as i32 - 12) as f32 / 10.0
 }
 
-proptest! {
-    /// Where a primitive survives setup, pixel coverage must match the
-    /// sign-based point-in-triangle reference (away from edges).
-    #[test]
-    fn coverage_matches_barycentric_reference(
-        ax in coord(), ay in coord(), bx in coord(), by in coord(), cx in coord(), cy in coord()
-    ) {
+/// Where a primitive survives setup, pixel coverage must match the
+/// sign-based point-in-triangle reference (away from edges).
+#[test]
+fn coverage_matches_barycentric_reference() {
+    check("coverage_matches_barycentric_reference", |rng| {
+        let (ax, ay) = (coord(rng), coord(rng));
+        let (bx, by) = (coord(rng), coord(rng));
+        let (cx, cy) = (coord(rng), coord(rng));
         let verts = [vert(ax, ay), vert(bx, by), vert(cx, cy)];
-        let Ok(prim) = setup_prim(&verts, W, H) else { return Ok(()); };
-        // Screen-space corners (same transform as setup_prim).
-        let to_screen = |x: f32, y: f32| {
-            Vec2::new((x * 0.5 + 0.5) * W as f32, (0.5 - y * 0.5) * H as f32)
+        let Ok(prim) = setup_prim(&verts, W, H) else {
+            return;
         };
+        // Screen-space corners (same transform as setup_prim).
+        let to_screen =
+            |x: f32, y: f32| Vec2::new((x * 0.5 + 0.5) * W as f32, (0.5 - y * 0.5) * H as f32);
         let (a, b, c) = (to_screen(ax, ay), to_screen(bx, by), to_screen(cx, cy));
         for py in 0..H as i32 {
             for px in 0..W as i32 {
@@ -49,52 +55,62 @@ proptest! {
                     && (e0 > margin || e1 > margin || e2 > margin);
                 let covered = prim.sample(px, py).is_some();
                 if strictly_inside {
-                    prop_assert!(covered, "interior pixel ({px},{py}) not covered");
-                } else if strictly_outside && covered {
-                    prop_assert!(false, "exterior pixel ({px},{py}) covered");
+                    assert!(covered, "interior pixel ({px},{py}) not covered");
+                } else if strictly_outside {
+                    assert!(!covered, "exterior pixel ({px},{py}) covered");
                 }
             }
         }
-    }
+    });
+}
 
-    /// Two triangles sharing a diagonal cover each pixel of their union at
-    /// most once (top-left fill rule), regardless of quad shape.
-    #[test]
-    fn shared_edges_never_double_cover(
-        ax in coord(), ay in coord(), bx in coord(), by in coord(),
-        cx in coord(), cy in coord(), dx in coord(), dy in coord()
-    ) {
+/// Two triangles sharing a diagonal cover each pixel of their union at
+/// most once (top-left fill rule), regardless of quad shape.
+#[test]
+fn shared_edges_never_double_cover() {
+    check("shared_edges_never_double_cover", |rng| {
         // Quad a-b-c-d split along a-c, both wound the same direction.
+        let (ax, ay) = (coord(rng), coord(rng));
+        let (bx, by) = (coord(rng), coord(rng));
+        let (cx, cy) = (coord(rng), coord(rng));
+        let (dx, dy) = (coord(rng), coord(rng));
         let t1 = [vert(ax, ay), vert(bx, by), vert(cx, cy)];
         let t2 = [vert(ax, ay), vert(cx, cy), vert(dx, dy)];
         let p1 = setup_prim(&t1, W, H);
         let p2 = setup_prim(&t2, W, H);
-        let (Ok(p1), Ok(p2)) = (p1, p2) else { return Ok(()); };
+        let (Ok(p1), Ok(p2)) = (p1, p2) else { return };
         for py in 0..H as i32 {
             for px in 0..W as i32 {
                 let hits = p1.sample(px, py).is_some() as u32 + p2.sample(px, py).is_some() as u32;
-                prop_assert!(hits <= 1, "pixel ({px},{py}) covered {hits} times");
+                assert!(hits <= 1, "pixel ({px},{py}) covered {hits} times");
             }
         }
-    }
+    });
+}
 
-    /// Interpolated depth stays within the vertex depth bounds.
-    #[test]
-    fn depth_within_bounds(
-        az in -0.9f32..0.9, bz in -0.9f32..0.9, cz in -0.9f32..0.9
-    ) {
+/// Interpolated depth stays within the vertex depth bounds.
+#[test]
+fn depth_within_bounds() {
+    check("depth_within_bounds", |rng| {
+        let z = |rng: &mut Xorshift64| rng.next_f32() * 1.8 - 0.9;
+        let (az, bz, cz) = (z(rng), z(rng), z(rng));
         let mut verts = [vert(-0.8, -0.8), vert(0.8, -0.8), vert(-0.8, 0.8)];
         verts[0].pos.z = az;
         verts[1].pos.z = bz;
         verts[2].pos.z = cz;
-        let Ok(prim) = setup_prim(&verts, W, H) else { return Ok(()); };
+        let Ok(prim) = setup_prim(&verts, W, H) else {
+            return;
+        };
         let (lo, hi) = prim.z_bounds();
         for py in 0..H as i32 {
             for px in 0..W as i32 {
                 if let Some((z, _)) = prim.sample(px, py) {
-                    prop_assert!(z >= lo - 1e-4 && z <= hi + 1e-4, "z {z} outside [{lo},{hi}]");
+                    assert!(
+                        z >= lo - 1e-4 && z <= hi + 1e-4,
+                        "z {z} outside [{lo},{hi}]"
+                    );
                 }
             }
         }
-    }
+    });
 }

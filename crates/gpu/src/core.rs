@@ -66,6 +66,18 @@ pub struct CoreStats {
     pub warps_retired: u64,
 }
 
+impl CoreStats {
+    /// Publishes the counters into `reg` under `prefix` (e.g. `gpu.core0`).
+    pub fn publish(&self, reg: &mut emerald_obs::Registry, prefix: &str) {
+        reg.set_counter(format!("{prefix}.issued"), self.issued);
+        reg.set_counter(format!("{prefix}.mem_instrs"), self.mem_instrs);
+        reg.set_counter(format!("{prefix}.active_cycles"), self.active_cycles);
+        reg.set_counter(format!("{prefix}.cycles"), self.cycles);
+        reg.set_counter(format!("{prefix}.warps_launched"), self.warps_launched);
+        reg.set_counter(format!("{prefix}.warps_retired"), self.warps_retired);
+    }
+}
+
 /// One SIMT core (32 lanes).
 #[derive(Debug)]
 pub struct SimtCore {
@@ -91,6 +103,9 @@ pub struct SimtCore {
     used_regs: usize,
     barriers: HashMap<(usize, usize), usize>,
     stats: CoreStats,
+    /// Last cycle seen by [`SimtCore::cycle`]; timestamps trace events from
+    /// call sites (like launch) that have no cycle argument.
+    now: Cycle,
 }
 
 impl SimtCore {
@@ -117,6 +132,7 @@ impl SimtCore {
             barriers: HashMap::new(),
             cfg: cfg.clone(),
             stats: CoreStats::default(),
+            now: 0,
         }
     }
 
@@ -150,6 +166,13 @@ impl SimtCore {
         self.next_seq += 1;
         self.warps[slot] = Some(warp);
         self.stats.warps_launched += 1;
+        emerald_obs::trace::instant_args(
+            emerald_obs::TraceCat::Warp,
+            "warp_launch",
+            self.id.0 as u32,
+            self.now,
+            &[("slot", slot as u64)],
+        );
         Ok(())
     }
 
@@ -177,6 +200,16 @@ impl SimtCore {
             Surface::ConstVertex => Some(&self.l1c),
             Surface::Shared => None,
         }
+    }
+
+    /// Publishes core counters plus the four L1s under `prefix` (e.g.
+    /// `gpu.core0` yields `gpu.core0.issued`, `gpu.core0.l1t.hits`, …).
+    pub fn publish(&self, reg: &mut emerald_obs::Registry, prefix: &str) {
+        self.stats.publish(reg, prefix);
+        self.l1d.stats().publish(reg, &format!("{prefix}.l1d"));
+        self.l1t.stats().publish(reg, &format!("{prefix}.l1t"));
+        self.l1z.stats().publish(reg, &format!("{prefix}.l1z"));
+        self.l1c.stats().publish(reg, &format!("{prefix}.l1c"));
     }
 
     /// Resets cache and core statistics (between frames/experiments).
@@ -264,14 +297,11 @@ impl SimtCore {
     /// One core clock cycle. `ctx` provides functional memory and graphics
     /// surfaces for whatever warps run here.
     pub fn cycle(&mut self, now: Cycle, ctx: &mut dyn ExecCtx) {
+        self.now = now;
         self.stats.cycles += 1;
 
         // 1. Writebacks due this cycle.
-        let due: Vec<Cycle> = self
-            .reg_release
-            .range(..=now)
-            .map(|(c, _)| *c)
-            .collect();
+        let due: Vec<Cycle> = self.reg_release.range(..=now).map(|(c, _)| *c).collect();
         for c in due {
             for (slot, regs) in self.reg_release.remove(&c).expect("key exists") {
                 if let Some(w) = self.warps[slot].as_mut() {
@@ -315,7 +345,10 @@ impl SimtCore {
                                     .push(p.token);
                             } else if p.token != 0 {
                                 // Tracked write that hit: complete now.
-                                self.token_done.entry(now + hit_lat).or_default().push(p.token);
+                                self.token_done
+                                    .entry(now + hit_lat)
+                                    .or_default()
+                                    .push(p.token);
                             }
                         }
                         Access::Miss { writeback } => {
@@ -347,7 +380,10 @@ impl SimtCore {
                                 kind: AccessKind::Write,
                             });
                             if p.token != 0 {
-                                self.token_done.entry(now + hit_lat).or_default().push(p.token);
+                                self.token_done
+                                    .entry(now + hit_lat)
+                                    .or_default()
+                                    .push(p.token);
                             }
                         }
                         Access::Stall(_) => {
@@ -376,14 +412,19 @@ impl SimtCore {
 
         // 4. Retire finished warps.
         for slot in 0..self.warps.len() {
-            let retire = self.warps[slot]
-                .as_ref()
-                .is_some_and(|w| w.is_finished());
+            let retire = self.warps[slot].as_ref().is_some_and(|w| w.is_finished());
             if retire {
                 let w = self.warps[slot].take().expect("warp exists");
                 self.used_regs -= Self::reg_demand(&w.program);
                 self.finished.push(w.tag);
                 self.stats.warps_retired += 1;
+                emerald_obs::trace::instant_args(
+                    emerald_obs::TraceCat::Warp,
+                    "warp_retire",
+                    self.id.0 as u32,
+                    now,
+                    &[("slot", slot as u64)],
+                );
             }
         }
     }
@@ -397,8 +438,7 @@ impl SimtCore {
         }
         // Memory instructions need LSU space (worst case one line/lane ×4).
         let instr = w.program.instr(w.stack.pc());
-        if instr.op.latency_class() == LatencyClass::Mem && self.lsu.len() >= self.cfg.lsu_entries
-        {
+        if instr.op.latency_class() == LatencyClass::Mem && self.lsu.len() >= self.cfg.lsu_entries {
             return false;
         }
         true
@@ -761,7 +801,11 @@ mod tests {
         let mut ctx = GlobalMemCtx::new(mem);
         let mut c = core();
         for _ in 0..2 {
-            launch_simple(&mut c, "mov.b32 r0, 0\nmov.b32 r1, 1\nmov.b32 r2, 2\nexit", 32);
+            launch_simple(
+                &mut c,
+                "mov.b32 r0, 0\nmov.b32 r1, 1\nmov.b32 r2, 2\nexit",
+                32,
+            );
         }
         run(&mut c, &mut ctx, 1000);
         assert_eq!(c.stats().warps_retired, 2);

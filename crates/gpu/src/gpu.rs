@@ -154,6 +154,29 @@ impl Gpu {
         &self.stats
     }
 
+    /// Publishes GPU aggregates under `{prefix}.*`, per-core instruments
+    /// under `{prefix}.coreN.*`, a cross-core merge under
+    /// `{prefix}.cores.*`, and the L2 under `{prefix}.l2.*`.
+    pub fn publish(&self, reg: &mut emerald_obs::Registry, prefix: &str) {
+        reg.set_counter(format!("{prefix}.issued"), self.stats.issued);
+        reg.set_counter(format!("{prefix}.warps_retired"), self.stats.warps_retired);
+        reg.set_counter(format!("{prefix}.mem_reads"), self.stats.mem_reads);
+        reg.set_counter(format!("{prefix}.mem_writes"), self.stats.mem_writes);
+        let mut merged = emerald_obs::Registry::new();
+        for core in &self.cores {
+            core.publish(reg, &format!("{prefix}.core{}", core.id.0));
+            let mut one = emerald_obs::Registry::new();
+            core.publish(&mut one, &format!("{prefix}.cores"));
+            merged.merge(&one);
+        }
+        // Replace (not merge) into `reg` so repeated publishes stay
+        // idempotent.
+        for (path, value) in merged.iter() {
+            reg.set(path, value.clone());
+        }
+        self.l2.stats().publish(reg, &format!("{prefix}.l2"));
+    }
+
     /// Resets core/L2/GPU statistics (cache contents survive).
     pub fn reset_stats(&mut self) {
         self.stats = GpuStats::default();
@@ -240,8 +263,7 @@ impl Gpu {
                     }
                     if all_ok {
                         self.kernels[ki].next_cta += 1;
-                        self.kernels[ki].next_shared_base +=
-                            (shared_bytes + 255) & !255;
+                        self.kernels[ki].next_shared_base += (shared_bytes + 255) & !255;
                         self.cta_cursor = (ci + 1) % n;
                         placed = true;
                     }

@@ -55,7 +55,12 @@ impl Kernel {
     /// `cta`, following the input conventions: `%input0` = global thread
     /// id, `%input1` = CTA id, `%input2` = thread id within the CTA,
     /// `%input3` = this CTA's shared-memory base.
-    pub fn threads_for_warp(&self, cta: usize, warp_in_cta: usize, shared_base: u32) -> Vec<ThreadState> {
+    pub fn threads_for_warp(
+        &self,
+        cta: usize,
+        warp_in_cta: usize,
+        shared_base: u32,
+    ) -> Vec<ThreadState> {
         let first = warp_in_cta * 32;
         let count = (self.threads_per_cta - first).min(32);
         (0..count)

@@ -254,8 +254,8 @@ mod tests {
         assert_eq!((s.pc(), s.active_mask()), (0, 0b01));
         s.advance(); // 1
         s.branch(0, 0, 2); // not taken -> 2 == rpc -> pop
-        // Fall-through entry (lane 2) at pc 2 == its rpc -> popped too;
-        // root resumes at 2 with both lanes.
+                           // Fall-through entry (lane 2) at pc 2 == its rpc -> popped too;
+                           // root resumes at 2 with both lanes.
         assert_eq!((s.pc(), s.active_mask()), (2, 0b11));
         assert_eq!(s.depth(), 1);
     }

@@ -93,7 +93,11 @@ impl ProgramBuilder {
     /// Defines a label at the current position.
     pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
         let name = name.into();
-        if self.labels.insert(name.clone(), self.instrs.len()).is_some() {
+        if self
+            .labels
+            .insert(name.clone(), self.instrs.len())
+            .is_some()
+        {
             self.error.get_or_insert(AsmError::DuplicateLabel(name));
         }
         self
@@ -173,7 +177,13 @@ impl ProgramBuilder {
     }
 
     /// Unary op helper.
-    pub fn unary(&mut self, kind: UnaryKind, ty: DType, d: Reg, a: impl Into<Operand>) -> &mut Self {
+    pub fn unary(
+        &mut self,
+        kind: UnaryKind,
+        ty: DType,
+        d: Reg,
+        a: impl Into<Operand>,
+    ) -> &mut Self {
         self.push(Op::Unary {
             kind,
             ty,
@@ -211,7 +221,13 @@ impl ProgramBuilder {
     }
 
     /// `st.<space>.b32 [addr+offset], a`.
-    pub fn st(&mut self, space: MemSpace, a: impl Into<Operand>, addr: Reg, offset: i32) -> &mut Self {
+    pub fn st(
+        &mut self,
+        space: MemSpace,
+        a: impl Into<Operand>,
+        addr: Reg,
+        offset: i32,
+    ) -> &mut Self {
         self.push(Op::St {
             space,
             a: a.into(),
@@ -431,13 +447,7 @@ fn parse_line(b: &mut ProgramBuilder, mut line: &str) -> Result<(), String> {
             let a = parse_operand(arg(1)?)?;
             let x = parse_operand(arg(2)?)?;
             let c = parse_operand(arg(3)?)?;
-            b.push(Op::Mad {
-                ty,
-                d,
-                a,
-                b: x,
-                c,
-            });
+            b.push(Op::Mad { ty, d, a, b: x, c });
         }
         "neg" | "abs" | "rcp" | "sqrt" | "rsqrt" | "floor" | "frac" | "ex2" | "lg2" | "sin"
         | "cos" => {

@@ -404,7 +404,12 @@ pub fn execute(
                 threads[lane].set_reg(*d, v);
             }
         }
-        Op::Ld { space, d, addr, offset } => {
+        Op::Ld {
+            space,
+            d,
+            addr,
+            offset,
+        } => {
             for lane in lanes().collect::<Vec<_>>() {
                 let base = threads[lane].reg(*addr) as i64;
                 let a = (base + *offset as i64) as Addr;
@@ -419,7 +424,12 @@ pub fn execute(
                 });
             }
         }
-        Op::St { space, a, addr, offset } => {
+        Op::St {
+            space,
+            a,
+            addr,
+            offset,
+        } => {
             for lane in lanes().collect::<Vec<_>>() {
                 let base = threads[lane].reg(*addr) as i64;
                 let ad = (base + *offset as i64) as Addr;
@@ -717,7 +727,7 @@ mod tests {
         execute(&p, 0, 0xf, &mut threads, &[], &mut ctx);
         let r = execute(&p, 1, 0xf, &mut threads, &[], &mut ctx);
         assert_eq!(r.killed, 0b1010); // odd x killed
-        // Passing lanes emit read+write, failing lanes read only.
+                                      // Passing lanes emit read+write, failing lanes read only.
         let writes = r
             .accesses
             .iter()

@@ -406,10 +406,20 @@ impl fmt::Display for Op {
                 write!(f, "setp.{c}.{ty} {p}, {a}, {b}")
             }
             Op::Sel { d, p, a, b } => write!(f, "sel.b32 {d}, {p}, {a}, {b}"),
-            Op::Ld { space, d, addr, offset } => {
+            Op::Ld {
+                space,
+                d,
+                addr,
+                offset,
+            } => {
                 write!(f, "ld.{space}.b32 {d}, [{addr}{offset:+}]")
             }
-            Op::St { space, a, addr, offset } => {
+            Op::St {
+                space,
+                a,
+                addr,
+                offset,
+            } => {
                 write!(f, "st.{space}.b32 [{addr}{offset:+}], {a}")
             }
             Op::Bra { target, reconv } => write!(f, "bra #{target}, reconv=#{reconv}"),

@@ -80,9 +80,7 @@ impl Program {
                 Operand::Special(Special::Param(k)) if *k as usize >= NUM_PARAMS => {
                     Err(ProgramError::BadParam(idx))
                 }
-                Operand::Special(Special::Input(k))
-                    if *k as usize >= crate::reg::NUM_INPUTS =>
-                {
+                Operand::Special(Special::Input(k)) if *k as usize >= crate::reg::NUM_INPUTS => {
                     Err(ProgramError::BadParam(idx))
                 }
                 _ => Ok(()),

@@ -1,13 +1,17 @@
-//! Property tests for the ISA executor.
+//! Property tests for the ISA executor, on the in-tree deterministic
+//! harness (`emerald_common::check`); the offline build has no proptest.
 
+use emerald_common::check::{check, check_n};
 use emerald_isa::exec::NullCtx;
 use emerald_isa::{assemble, execute, ThreadState};
-use proptest::prelude::*;
 
-proptest! {
-    /// Inactive lanes are never touched by any ALU instruction.
-    #[test]
-    fn masked_lanes_are_untouched(mask in any::<u32>(), a in any::<u32>(), b in any::<u32>()) {
+/// Inactive lanes are never touched by any ALU instruction.
+#[test]
+fn masked_lanes_are_untouched() {
+    check("masked_lanes_are_untouched", |rng| {
+        let mask = rng.next_u32();
+        let a = rng.next_u32();
+        let b = rng.next_u32();
         let p = assemble("add.u32 r1, %param0, %param1\nxor.u32 r2, r1, %param0\nexit").unwrap();
         let mut threads = vec![ThreadState::new(); 32];
         let before = threads.clone();
@@ -16,17 +20,21 @@ proptest! {
         execute(&p, 1, mask, &mut threads, &[a, b], &mut ctx);
         for lane in 0..32 {
             if mask & (1 << lane) == 0 {
-                prop_assert_eq!(&threads[lane], &before[lane], "lane {} modified", lane);
+                assert_eq!(&threads[lane], &before[lane], "lane {} modified", lane);
             } else {
-                prop_assert_eq!(threads[lane].regs[1], a.wrapping_add(b));
-                prop_assert_eq!(threads[lane].regs[2], a.wrapping_add(b) ^ a);
+                assert_eq!(threads[lane].regs[1], a.wrapping_add(b));
+                assert_eq!(threads[lane].regs[2], a.wrapping_add(b) ^ a);
             }
         }
-    }
+    });
+}
 
-    /// Integer ALU semantics match Rust's wrapping arithmetic.
-    #[test]
-    fn integer_alu_oracle(x in any::<u32>(), y in any::<u32>()) {
+/// Integer ALU semantics match Rust's wrapping arithmetic.
+#[test]
+fn integer_alu_oracle() {
+    check("integer_alu_oracle", |rng| {
+        let x = rng.next_u32();
+        let y = rng.next_u32();
         let p = assemble(
             "mov.b32 r0, %param0\n\
              mov.b32 r1, %param1\n\
@@ -46,18 +54,22 @@ proptest! {
             execute(&p, pc, 1, &mut threads, &[x, y], &mut ctx);
         }
         let t = &threads[0];
-        prop_assert_eq!(t.regs[2], x.wrapping_add(y));
-        prop_assert_eq!(t.regs[3], x.wrapping_sub(y));
-        prop_assert_eq!(t.regs[4], x.wrapping_mul(y));
-        prop_assert_eq!(t.regs[5], x.min(y));
-        prop_assert_eq!(t.regs[6], x.max(y));
-        prop_assert_eq!(t.regs[7], x & y);
-        prop_assert_eq!(t.regs[8], x | y);
-    }
+        assert_eq!(t.regs[2], x.wrapping_add(y));
+        assert_eq!(t.regs[3], x.wrapping_sub(y));
+        assert_eq!(t.regs[4], x.wrapping_mul(y));
+        assert_eq!(t.regs[5], x.min(y));
+        assert_eq!(t.regs[6], x.max(y));
+        assert_eq!(t.regs[7], x & y);
+        assert_eq!(t.regs[8], x | y);
+    });
+}
 
-    /// f32 ALU semantics match Rust's f32 arithmetic bit-for-bit.
-    #[test]
-    fn float_alu_oracle(x in -1e6f32..1e6, y in -1e6f32..1e6) {
+/// f32 ALU semantics match Rust's f32 arithmetic bit-for-bit.
+#[test]
+fn float_alu_oracle() {
+    check("float_alu_oracle", |rng| {
+        let x = (rng.next_f32() * 2.0 - 1.0) * 1e6;
+        let y = (rng.next_f32() * 2.0 - 1.0) * 1e6;
         let p = assemble(
             "mov.b32 r0, %param0\n\
              mov.b32 r1, %param1\n\
@@ -70,18 +82,38 @@ proptest! {
         let mut threads = vec![ThreadState::new(); 1];
         let mut ctx = NullCtx;
         for pc in 0..p.len() {
-            execute(&p, pc, 1, &mut threads, &[x.to_bits(), y.to_bits()], &mut ctx);
+            execute(
+                &p,
+                pc,
+                1,
+                &mut threads,
+                &[x.to_bits(), y.to_bits()],
+                &mut ctx,
+            );
         }
         let t = &threads[0];
-        prop_assert_eq!(t.reg_f32(emerald_isa::Reg(2)), x + y);
-        prop_assert_eq!(t.reg_f32(emerald_isa::Reg(3)), x * y);
+        assert_eq!(t.reg_f32(emerald_isa::Reg(2)), x + y);
+        assert_eq!(t.reg_f32(emerald_isa::Reg(3)), x * y);
         // mad = two-step multiply-add (not fused).
-        prop_assert_eq!(t.reg_f32(emerald_isa::Reg(4)), x * y + (x + y));
-    }
+        assert_eq!(t.reg_f32(emerald_isa::Reg(4)), x * y + (x + y));
+    });
+}
 
-    /// setp comparisons agree with Rust comparisons for every operator.
-    #[test]
-    fn setp_oracle(x in any::<i32>(), y in any::<i32>()) {
+/// setp comparisons agree with Rust comparisons for every operator.
+#[test]
+fn setp_oracle() {
+    check_n("setp_oracle", 128, |rng| {
+        // Mix raw 32-bit patterns with small values so eq/lt/ge all fire.
+        let x = if rng.chance(0.5) {
+            rng.next_u32() as i32
+        } else {
+            rng.range(0, 8) as i32 - 4
+        };
+        let y = if rng.chance(0.5) {
+            rng.next_u32() as i32
+        } else {
+            rng.range(0, 8) as i32 - 4
+        };
         let src = "mov.b32 r0, %param0\nmov.b32 r1, %param1\n\
             setp.eq.s32 p0, r0, r1\nsetp.lt.s32 p1, r0, r1\nsetp.ge.s32 p2, r0, r1\nexit";
         let p = assemble(src).unwrap();
@@ -90,8 +122,8 @@ proptest! {
         for pc in 0..p.len() {
             execute(&p, pc, 1, &mut threads, &[x as u32, y as u32], &mut ctx);
         }
-        prop_assert_eq!(threads[0].preds[0], x == y);
-        prop_assert_eq!(threads[0].preds[1], x < y);
-        prop_assert_eq!(threads[0].preds[2], x >= y);
-    }
+        assert_eq!(threads[0].preds[0], x == y);
+        assert_eq!(threads[0].preds[1], x < y);
+        assert_eq!(threads[0].preds[2], x >= y);
+    });
 }

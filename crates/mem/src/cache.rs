@@ -7,9 +7,9 @@
 //! returned by [`Cache::access`] — the cache itself never owns other
 //! components, which keeps the hierarchy composable.
 
+use crate::req::ReqId;
 use emerald_common::stats::Ratio;
 use emerald_common::types::{AccessKind, Addr, Cycle};
-use crate::req::ReqId;
 use std::collections::HashMap;
 
 /// Write handling policy.
@@ -142,6 +142,18 @@ impl CacheStats {
     pub fn misses(&self) -> u64 {
         self.hits.den - self.hits.num
     }
+
+    /// Publishes the counters into `reg` under `prefix` (e.g.
+    /// `gpu.core0.l1d` yields `gpu.core0.l1d.hits`, `.reads`, …).
+    pub fn publish(&self, reg: &mut emerald_obs::Registry, prefix: &str) {
+        reg.set_ratio(format!("{prefix}.hits"), self.hits);
+        reg.set_counter(format!("{prefix}.misses"), self.misses());
+        reg.set_counter(format!("{prefix}.reads"), self.reads);
+        reg.set_counter(format!("{prefix}.writes"), self.writes);
+        reg.set_counter(format!("{prefix}.fills"), self.fills);
+        reg.set_counter(format!("{prefix}.writebacks"), self.writebacks);
+        reg.set_counter(format!("{prefix}.stalls"), self.stalls);
+    }
 }
 
 /// A set-associative, MSHR-based cache (timing + tag state only; data lives
@@ -231,10 +243,7 @@ impl Cache {
         }
 
         // Hit?
-        if let Some(l) = self.sets[si]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
+        if let Some(l) = self.sets[si].iter_mut().find(|l| l.valid && l.tag == tag) {
             l.lru = tick;
             if kind == AccessKind::Write {
                 match self.cfg.write_policy {
@@ -254,8 +263,7 @@ impl Cache {
         }
 
         // Write-through caches never allocate on writes.
-        if kind == AccessKind::Write
-            && self.cfg.write_policy == WritePolicy::WriteThroughNoAllocate
+        if kind == AccessKind::Write && self.cfg.write_policy == WritePolicy::WriteThroughNoAllocate
         {
             self.stats.hits.record(false);
             return Access::WriteForward;
@@ -305,8 +313,8 @@ impl Cache {
         let writeback = if victim_line.valid && victim_line.dirty {
             self.stats.writebacks += 1;
             // Reconstruct the victim's line address.
-            let va = (victim_line.tag * self.sets.len() as u64 + si as u64)
-                * self.cfg.line_bytes as u64;
+            let va =
+                (victim_line.tag * self.sets.len() as u64 + si as u64) * self.cfg.line_bytes as u64;
             Some(va)
         } else {
             None
@@ -431,14 +439,20 @@ mod tests {
         let mut cfg = CacheConfig::small("wt");
         cfg.write_policy = WritePolicy::WriteThroughNoAllocate;
         let mut c = Cache::new(cfg);
-        assert_eq!(c.access(0x40, AccessKind::Write, 1, 0), Access::WriteForward);
+        assert_eq!(
+            c.access(0x40, AccessKind::Write, 1, 0),
+            Access::WriteForward
+        );
         // No allocation happened.
         assert!(!c.probe(0x40));
         // Read-fill then write hit still forwards.
         c.access(0x40, AccessKind::Read, 2, 1);
         c.fill(0x0); // 0x40 lines to line 0x0
         assert!(c.probe(0x40));
-        assert_eq!(c.access(0x40, AccessKind::Write, 3, 2), Access::WriteForward);
+        assert_eq!(
+            c.access(0x40, AccessKind::Write, 3, 2),
+            Access::WriteForward
+        );
     }
 
     #[test]
@@ -503,7 +517,10 @@ mod tests {
         }
         // Touch lines 1..3 so line 0 is LRU.
         for i in 1..4u64 {
-            assert_eq!(c.access(i * set_stride, AccessKind::Read, 10 + i, 1), Access::Hit);
+            assert_eq!(
+                c.access(i * set_stride, AccessKind::Read, 10 + i, 1),
+                Access::Hit
+            );
         }
         // New tag evicts line 0.
         c.access(4 * set_stride, AccessKind::Read, 20, 2);
@@ -519,11 +536,12 @@ mod tests {
         assert_eq!(c.access(0x8, AccessKind::Write, 2, 0), Access::MergedMiss);
         let readers = c.fill(0x0);
         assert_eq!(readers, vec![1]); // write target not returned
-        // Evicting now must produce a writeback (dirty via merged write).
+                                      // Evicting now must produce a writeback (dirty via merged write).
         let set_stride = 8 * 128;
         for i in 1..=4u64 {
-            if let Access::Miss { writeback: Some(wb) } =
-                c.access(i * set_stride, AccessKind::Read, 10 + i, 1)
+            if let Access::Miss {
+                writeback: Some(wb),
+            } = c.access(i * set_stride, AccessKind::Read, 10 + i, 1)
             {
                 assert_eq!(wb, 0x0);
                 return;

@@ -380,7 +380,10 @@ mod tests {
         let h = DashHandle::new(DashConfig::paper(Clustering::CpuOnly));
         let mut s = h.scheduler();
         // No clustering has happened, so every CPU is non-intensive.
-        let queue = vec![qreq(1, TrafficSource::Gpu, 0), qreq(2, TrafficSource::Cpu(1), 5)];
+        let queue = vec![
+            qreq(1, TrafficSource::Gpu, 0),
+            qreq(2, TrafficSource::Cpu(1), 5),
+        ];
         assert_eq!(s.pick(&queue, &banks(), 8, 10), Some(1));
     }
 

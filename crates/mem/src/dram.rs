@@ -122,6 +122,20 @@ impl ChannelStats {
         }
     }
 
+    /// Publishes the counters into `reg` under `prefix` (e.g.
+    /// `mem.dram.ch0` yields `mem.dram.ch0.row_hits`, `.activations`, …).
+    pub fn publish(&self, reg: &mut emerald_obs::Registry, prefix: &str) {
+        reg.set_ratio(format!("{prefix}.row_hits"), self.row_hits);
+        reg.set_counter(format!("{prefix}.activations"), self.activations);
+        reg.set_counter(format!("{prefix}.bytes"), self.bytes);
+        reg.set_counter(format!("{prefix}.serviced"), self.serviced);
+        reg.set_counter(format!("{prefix}.reads_serviced"), self.reads_serviced);
+        reg.set_counter(format!("{prefix}.read_latency_sum"), self.read_latency_sum);
+        for (src, bytes) in &self.source_bytes {
+            reg.set_counter(format!("{prefix}.source_bytes.{src}"), *bytes);
+        }
+    }
+
     /// Merges another channel's statistics into this one.
     pub fn merge(&mut self, o: &ChannelStats) {
         self.row_hits.merge(&o.row_hits);
@@ -147,6 +161,8 @@ pub struct DramChannel {
     in_service: Vec<(Cycle, MemRequest)>,
     scheduler: Box<dyn DramScheduler>,
     stats: ChannelStats,
+    /// Trace track id (the owning system sets this to the channel index).
+    track: u32,
 }
 
 impl DramChannel {
@@ -161,7 +177,13 @@ impl DramChannel {
             in_service: Vec::new(),
             scheduler,
             stats: ChannelStats::default(),
+            track: 0,
         }
+    }
+
+    /// Sets the trace track (channel index) used for emitted trace events.
+    pub fn set_trace_track(&mut self, track: u32) {
+        self.track = track;
     }
 
     /// The channel's configuration.
@@ -195,11 +217,20 @@ impl DramChannel {
     }
 
     /// Enqueues a request already decoded to `loc`; fails when full.
-    pub fn enqueue(&mut self, req: MemRequest, loc: DramLocation, now: Cycle) -> Result<(), MemRequest> {
+    pub fn enqueue(
+        &mut self,
+        req: MemRequest,
+        loc: DramLocation,
+        now: Cycle,
+    ) -> Result<(), MemRequest> {
         if self.is_full() {
             return Err(req);
         }
-        self.queue.push(QueuedReq { req, loc, arrived: now });
+        self.queue.push(QueuedReq {
+            req,
+            loc,
+            arrived: now,
+        });
         Ok(())
     }
 
@@ -230,6 +261,13 @@ impl DramChannel {
         if !row_hit {
             if bank.open_row.is_some() {
                 lat += self.cfg.t_rp as Cycle;
+                emerald_obs::trace::instant_args(
+                    emerald_obs::TraceCat::Dram,
+                    "row_conflict",
+                    self.track,
+                    now,
+                    &[("bank", bi as u64), ("row", q.loc.row)],
+                );
             }
             lat += self.cfg.t_rcd as Cycle;
             self.stats.activations += 1;
@@ -244,11 +282,7 @@ impl DramChannel {
         self.stats.row_hits.record(row_hit);
         self.stats.serviced += 1;
         self.stats.bytes += q.req.bytes as u64;
-        *self
-            .stats
-            .source_bytes
-            .entry(q.req.source)
-            .or_insert(0) += q.req.bytes as u64;
+        *self.stats.source_bytes.entry(q.req.source).or_insert(0) += q.req.bytes as u64;
         if q.req.needs_response() {
             self.stats.reads_serviced += 1;
             self.stats.read_latency_sum += done.saturating_sub(q.req.issued);
@@ -355,7 +389,10 @@ mod tests {
         let cfg = DramConfig::lpddr3_1333();
         let lat1 = r1[0].finished;
         let lat2 = r2[0].finished - t1 + 1;
-        assert!(lat2 >= lat1 + cfg.t_rp as Cycle - 1, "lat1={lat1} lat2={lat2}");
+        assert!(
+            lat2 >= lat1 + cfg.t_rp as Cycle - 1,
+            "lat1={lat1} lat2={lat2}"
+        );
         assert_eq!(ch.stats().activations, 2);
     }
 
@@ -365,8 +402,12 @@ mod tests {
         let n = 32u64;
         for i in 0..n {
             // Same row: all hits after the first, so the bus is the limit.
-            ch.enqueue(req(i, i * 128 % (32 * 128)), map.decode(i * 128 % (32 * 128)), 0)
-                .unwrap_or_else(|_| panic!("queue full"));
+            ch.enqueue(
+                req(i, i * 128 % (32 * 128)),
+                map.decode(i * 128 % (32 * 128)),
+                0,
+            )
+            .unwrap_or_else(|_| panic!("queue full"));
         }
         let (resp, end) = run_until_idle(&mut ch, 0);
         assert_eq!(resp.len(), n as usize);
@@ -394,7 +435,8 @@ mod tests {
         let (mut ch, map) = channel();
         let cap = ch.config().queue_cap;
         for i in 0..cap as u64 {
-            ch.enqueue(req(i, i * 4096), map.decode(i * 4096), 0).unwrap();
+            ch.enqueue(req(i, i * 4096), map.decode(i * 4096), 0)
+                .unwrap();
         }
         assert!(ch.is_full());
         assert!(ch.enqueue(req(999, 0), map.decode(0), 0).is_err());

@@ -14,8 +14,8 @@ use crate::dram::{ChannelStats, DramChannel, DramConfig};
 use crate::mapping::AddressMapping;
 use crate::req::{MemRequest, MemResponse};
 use crate::sched::FrFcfs;
-use emerald_common::stats::BandwidthProbe;
 use emerald_common::types::{Cycle, TrafficSource};
+use emerald_obs::{Registry, Timeline};
 
 /// How addresses/sources map to channels.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,25 +144,35 @@ impl SourceClass {
     ];
 }
 
+/// Per-class bandwidth timelines (one [`Timeline`] per [`SourceClass`]).
 #[derive(Debug)]
 struct Probes {
-    cpu: BandwidthProbe,
-    gpu: BandwidthProbe,
-    display: BandwidthProbe,
-    other: BandwidthProbe,
+    cpu: Timeline,
+    gpu: Timeline,
+    display: Timeline,
+    other: Timeline,
 }
 
 impl Probes {
     fn new(window: Cycle) -> Self {
         Self {
-            cpu: BandwidthProbe::new(window),
-            gpu: BandwidthProbe::new(window),
-            display: BandwidthProbe::new(window),
-            other: BandwidthProbe::new(window),
+            cpu: Timeline::new(window),
+            gpu: Timeline::new(window),
+            display: Timeline::new(window),
+            other: Timeline::new(window),
         }
     }
 
-    fn probe_mut(&mut self, class: SourceClass) -> &mut BandwidthProbe {
+    fn probe(&self, class: SourceClass) -> &Timeline {
+        match class {
+            SourceClass::Cpu => &self.cpu,
+            SourceClass::Gpu => &self.gpu,
+            SourceClass::Display => &self.display,
+            SourceClass::Other => &self.other,
+        }
+    }
+
+    fn probe_mut(&mut self, class: SourceClass) -> &mut Timeline {
         match class {
             SourceClass::Cpu => &mut self.cpu,
             SourceClass::Gpu => &mut self.gpu,
@@ -205,7 +215,10 @@ impl MemorySystem {
             } => {
                 assert_eq!(cpu_mapping.channels, cpu_channels.len());
                 assert_eq!(ip_mapping.channels, ip_channels.len());
-                assert!(cpu_channels.iter().chain(ip_channels).all(|&c| c < cfg.channels));
+                assert!(cpu_channels
+                    .iter()
+                    .chain(ip_channels)
+                    .all(|&c| c < cfg.channels));
             }
         }
         let dash = match &cfg.scheduler {
@@ -213,13 +226,15 @@ impl MemorySystem {
             SchedulerKind::Dash(d) => Some(DashHandle::new(d.clone())),
         };
         let channels = (0..cfg.channels)
-            .map(|_| {
+            .map(|i| {
                 let sched: Box<dyn crate::sched::DramScheduler> = match (&cfg.scheduler, &dash) {
                     (SchedulerKind::FrFcfs, _) => Box::new(FrFcfs::new()),
                     (SchedulerKind::Dash(_), Some(h)) => Box::new(h.scheduler()),
                     _ => unreachable!(),
                 };
-                DramChannel::new(cfg.dram.clone(), sched)
+                let mut ch = DramChannel::new(cfg.dram.clone(), sched);
+                ch.set_trace_track(i as u32);
+                ch
             })
             .collect();
         Self {
@@ -257,12 +272,7 @@ impl MemorySystem {
     pub fn probe_samples(&self, class: SourceClass) -> &[(Cycle, u64)] {
         match &self.probes {
             None => &[],
-            Some(p) => match class {
-                SourceClass::Cpu => p.cpu.samples(),
-                SourceClass::Gpu => p.gpu.samples(),
-                SourceClass::Display => p.display.samples(),
-                SourceClass::Other => p.other.samples(),
-            },
+            Some(p) => p.probe(class).samples(),
         }
     }
 
@@ -271,12 +281,7 @@ impl MemorySystem {
     pub fn probe_total_bytes(&self, class: SourceClass) -> u64 {
         match &self.probes {
             None => 0,
-            Some(p) => match class {
-                SourceClass::Cpu => p.cpu.total_bytes(),
-                SourceClass::Gpu => p.gpu.total_bytes(),
-                SourceClass::Display => p.display.total_bytes(),
-                SourceClass::Other => p.other.total_bytes(),
-            },
+            Some(p) => p.probe(class).total(),
         }
     }
 
@@ -366,6 +371,29 @@ impl MemorySystem {
         }
     }
 
+    /// Publishes per-channel instruments under `{prefix}.chN.*` and the
+    /// cross-channel aggregate directly under `{prefix}.*`.
+    pub fn publish(&self, reg: &mut Registry, prefix: &str) {
+        for (i, ch) in self.channels.iter().enumerate() {
+            ch.stats().publish(reg, &format!("{prefix}.ch{i}"));
+        }
+        self.stats().publish(reg, prefix);
+        if let Some(p) = &self.probes {
+            for class in SourceClass::ALL {
+                let name = match class {
+                    SourceClass::Cpu => "cpu",
+                    SourceClass::Gpu => "gpu",
+                    SourceClass::Display => "display",
+                    SourceClass::Other => "other",
+                };
+                reg.set_counter(
+                    format!("{prefix}.probe_bytes.{name}"),
+                    p.probe(class).total(),
+                );
+            }
+        }
+    }
+
     /// True when every channel is idle.
     pub fn is_idle(&self) -> bool {
         self.channels.iter().all(|c| c.is_idle())
@@ -428,8 +456,10 @@ mod tests {
     fn hmc_partitions_by_source() {
         let mut ms = MemorySystem::new(MemorySystemConfig::hmc(2, DramConfig::lpddr3_1333()));
         for i in 0..4u64 {
-            ms.enqueue(read(i, i * 128, TrafficSource::Cpu(0)), 0).unwrap();
-            ms.enqueue(read(100 + i, i * 128, TrafficSource::Gpu), 0).unwrap();
+            ms.enqueue(read(i, i * 128, TrafficSource::Cpu(0)), 0)
+                .unwrap();
+            ms.enqueue(read(100 + i, i * 128, TrafficSource::Gpu), 0)
+                .unwrap();
         }
         drain_all(&mut ms);
         let per = ms.channel_stats();
@@ -519,7 +549,8 @@ mod tests {
         let mut ms = MemorySystem::new(MemorySystemConfig::baseline(1, DramConfig::lpddr3_1333()));
         ms.enable_probes(100);
         ms.enqueue(read(1, 0, TrafficSource::Gpu), 0).unwrap();
-        ms.enqueue(read(2, 4096, TrafficSource::Display), 0).unwrap();
+        ms.enqueue(read(2, 4096, TrafficSource::Display), 0)
+            .unwrap();
         let mut now = 0;
         while !ms.is_idle() {
             ms.tick(now);

@@ -1,0 +1,512 @@
+//! Hierarchical metrics registry.
+//!
+//! Components publish instruments under dotted paths — `gpu.core3.l1t.hits`,
+//! `mem.dram.ch0.row_hits` — into a [`Registry`]. The registry supports
+//! merging (aggregate across cores/channels by publishing to the same path),
+//! snapshots with delta-since-snapshot (windowed measurement without
+//! resetting live counters), and machine-readable JSON/CSV dumps at end of
+//! run. Everything is hand-rolled: the offline build has no serde.
+
+use emerald_common::stats::{Histogram, Ratio, Summary};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One instrument's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Monotonically increasing event count.
+    Counter(u64),
+    /// Point-in-time level (queue depth, open rows); deltas keep the later
+    /// value rather than subtracting.
+    Gauge(u64),
+    /// Hit/total ratio.
+    Ratio(Ratio),
+    /// Streaming count/sum/min/max summary.
+    Summary(Summary),
+    /// Fixed-width-bucket histogram.
+    Histogram(Histogram),
+}
+
+impl Value {
+    /// Short kind tag (`"counter"`, `"ratio"`, …) used in dumps.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Counter(_) => "counter",
+            Value::Gauge(_) => "gauge",
+            Value::Ratio(_) => "ratio",
+            Value::Summary(_) => "summary",
+            Value::Histogram(_) => "histogram",
+        }
+    }
+
+    /// A representative scalar: the count/level, the ratio value, the
+    /// summary mean, or the histogram total.
+    pub fn scalar(&self) -> f64 {
+        match self {
+            Value::Counter(c) | Value::Gauge(c) => *c as f64,
+            Value::Ratio(r) => r.value(),
+            Value::Summary(s) => s.mean(),
+            Value::Histogram(h) => h.total() as f64,
+        }
+    }
+
+    /// Merges `other` into `self` (sum counters, combine ratio/summary/
+    /// histogram contributions, keep the larger gauge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two values are of different kinds.
+    pub fn merge(&mut self, other: &Value) {
+        match (self, other) {
+            (Value::Counter(a), Value::Counter(b)) => *a += b,
+            (Value::Gauge(a), Value::Gauge(b)) => *a = (*a).max(*b),
+            (Value::Ratio(a), Value::Ratio(b)) => a.merge(b),
+            (Value::Summary(a), Value::Summary(b)) => a.merge(b),
+            (Value::Histogram(a), Value::Histogram(b)) => a.merge(b),
+            (a, b) => panic!("cannot merge {} into {}", b.kind(), a.kind()),
+        }
+    }
+
+    /// The change from `earlier` to `self`.
+    ///
+    /// Counters and ratio/summary/histogram components subtract
+    /// (saturating, so a component reset between snapshots yields zeros
+    /// rather than wrapping); gauges keep the later value. For summaries the
+    /// windowed min/max are unknowable from endpoints, so the later
+    /// summary's extremes are kept — count/sum/mean are exact.
+    pub fn delta(&self, earlier: &Value) -> Value {
+        match (self, earlier) {
+            (Value::Counter(a), Value::Counter(b)) => Value::Counter(a.saturating_sub(*b)),
+            (Value::Gauge(a), _) => Value::Gauge(*a),
+            (Value::Ratio(a), Value::Ratio(b)) => Value::Ratio(Ratio {
+                num: a.num.saturating_sub(b.num),
+                den: a.den.saturating_sub(b.den),
+            }),
+            (Value::Summary(a), Value::Summary(b)) => Value::Summary(Summary::from_parts(
+                a.count().saturating_sub(b.count()),
+                a.sum() - b.sum(),
+                a.min(),
+                a.max(),
+            )),
+            (Value::Histogram(a), Value::Histogram(b)) if a.bucket_width() == b.bucket_width() => {
+                let counts = a
+                    .counts()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| c.saturating_sub(b.counts().get(i).copied().unwrap_or(0)))
+                    .collect();
+                Value::Histogram(Histogram::from_counts(a.bucket_width(), counts))
+            }
+            // Kind or geometry changed between snapshots: the instrument was
+            // re-registered, so the later value IS the delta.
+            (a, _) => a.clone(),
+        }
+    }
+}
+
+/// An immutable copy of a registry's contents at one point in time.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    entries: BTreeMap<String, Value>,
+}
+
+impl Snapshot {
+    /// Looks up an instrument by path.
+    pub fn get(&self, path: &str) -> Option<&Value> {
+        self.entries.get(path)
+    }
+
+    /// Number of instruments captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Hierarchical instrument store keyed by dotted paths.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    entries: BTreeMap<String, Value>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces the instrument at `path`.
+    pub fn set(&mut self, path: impl Into<String>, value: Value) {
+        self.entries.insert(path.into(), value);
+    }
+
+    /// Inserts or replaces a counter.
+    pub fn set_counter(&mut self, path: impl Into<String>, count: u64) {
+        self.set(path, Value::Counter(count));
+    }
+
+    /// Inserts or replaces a gauge.
+    pub fn set_gauge(&mut self, path: impl Into<String>, level: u64) {
+        self.set(path, Value::Gauge(level));
+    }
+
+    /// Inserts or replaces a ratio.
+    pub fn set_ratio(&mut self, path: impl Into<String>, ratio: Ratio) {
+        self.set(path, Value::Ratio(ratio));
+    }
+
+    /// Inserts or replaces a summary.
+    pub fn set_summary(&mut self, path: impl Into<String>, summary: Summary) {
+        self.set(path, Value::Summary(summary));
+    }
+
+    /// Inserts or replaces a histogram.
+    pub fn set_histogram(&mut self, path: impl Into<String>, histogram: Histogram) {
+        self.set(path, Value::Histogram(histogram));
+    }
+
+    /// Merges `value` into the instrument at `path`, inserting if absent.
+    /// This is how per-core contributions aggregate under one path.
+    pub fn merge_value(&mut self, path: impl Into<String>, value: Value) {
+        match self.entries.entry(path.into()) {
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(&value),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(value);
+            }
+        }
+    }
+
+    /// Merges every instrument of `other` into this registry.
+    pub fn merge(&mut self, other: &Registry) {
+        for (path, value) in &other.entries {
+            self.merge_value(path.clone(), value.clone());
+        }
+    }
+
+    /// Looks up an instrument by path.
+    pub fn get(&self, path: &str) -> Option<&Value> {
+        self.entries.get(path)
+    }
+
+    /// Iterates instruments in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of instruments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes every instrument.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Captures the current values for later [`Registry::delta_since`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            entries: self.entries.clone(),
+        }
+    }
+
+    /// The per-instrument change since `snap` (see [`Value::delta`]).
+    /// Instruments that appeared after the snapshot are included verbatim;
+    /// instruments that disappeared are dropped.
+    pub fn delta_since(&self, snap: &Snapshot) -> Registry {
+        let mut out = Registry::new();
+        for (path, value) in &self.entries {
+            let d = match snap.entries.get(path) {
+                Some(earlier) => value.delta(earlier),
+                None => value.clone(),
+            };
+            out.entries.insert(path.clone(), d);
+        }
+        out
+    }
+
+    /// Renders the registry as pretty-printed hierarchical JSON: dotted
+    /// paths become nested objects, leaves become kind-tagged objects (bare
+    /// numbers for counters/gauges). A node that is both a leaf and a parent
+    /// stores its own value under `"_self"`.
+    pub fn to_json(&self) -> String {
+        let mut root = Node::default();
+        for (path, value) in &self.entries {
+            let mut node = &mut root;
+            for seg in path.split('.') {
+                node = node.children.entry(seg).or_default();
+            }
+            node.value = Some(value);
+        }
+        let mut out = String::new();
+        write_node(&mut out, &root, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Renders the registry as long-format CSV with header
+    /// `path,kind,field,value` — one row per instrument field, so any
+    /// spreadsheet or dataframe library can pivot it without a parser.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("path,kind,field,value\n");
+        for (path, value) in &self.entries {
+            let kind = value.kind();
+            let mut row = |field: &str, val: String| {
+                let _ = writeln!(out, "{path},{kind},{field},{val}");
+            };
+            match value {
+                Value::Counter(c) | Value::Gauge(c) => row("value", c.to_string()),
+                Value::Ratio(r) => {
+                    row("num", r.num.to_string());
+                    row("den", r.den.to_string());
+                    row("value", fmt_f64(r.value()));
+                }
+                Value::Summary(s) => {
+                    row("count", s.count().to_string());
+                    row("sum", fmt_f64(s.sum()));
+                    row("min", fmt_f64(s.min()));
+                    row("max", fmt_f64(s.max()));
+                    row("mean", fmt_f64(s.mean()));
+                }
+                Value::Histogram(h) => {
+                    row("bucket_width", h.bucket_width().to_string());
+                    for (i, &c) in h.counts().iter().enumerate() {
+                        if i == h.counts().len() - 1 {
+                            row("bucket_overflow", c.to_string());
+                        } else {
+                            row(&format!("bucket{i}"), c.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct Node<'a> {
+    value: Option<&'a Value>,
+    children: BTreeMap<&'a str, Node<'a>>,
+}
+
+fn write_node(out: &mut String, node: &Node<'_>, depth: usize) {
+    if node.children.is_empty() {
+        if let Some(v) = node.value {
+            write_leaf(out, v, depth);
+        } else {
+            out.push_str("{}");
+        }
+        return;
+    }
+    out.push_str("{\n");
+    let pad = "  ".repeat(depth + 1);
+    let mut first = true;
+    if let Some(v) = node.value {
+        let _ = write!(out, "{pad}\"_self\": ");
+        write_leaf(out, v, depth + 1);
+        first = false;
+    }
+    for (name, child) in &node.children {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(out, "{pad}\"{}\": ", escape_json(name));
+        write_node(out, child, depth + 1);
+    }
+    let _ = write!(out, "\n{}}}", "  ".repeat(depth));
+}
+
+fn write_leaf(out: &mut String, value: &Value, depth: usize) {
+    match value {
+        Value::Counter(c) | Value::Gauge(c) => {
+            let _ = write!(out, "{c}");
+        }
+        Value::Ratio(r) => {
+            let _ = write!(
+                out,
+                "{{\"kind\": \"ratio\", \"num\": {}, \"den\": {}, \"value\": {}}}",
+                r.num,
+                r.den,
+                fmt_f64(r.value())
+            );
+        }
+        Value::Summary(s) => {
+            let _ = write!(
+                out,
+                "{{\"kind\": \"summary\", \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}}}",
+                s.count(),
+                fmt_f64(s.sum()),
+                fmt_f64(s.min()),
+                fmt_f64(s.max()),
+                fmt_f64(s.mean())
+            );
+        }
+        Value::Histogram(h) => {
+            let pad = "  ".repeat(depth + 1);
+            let _ = write!(
+                out,
+                "{{\n{pad}\"kind\": \"histogram\",\n{pad}\"bucket_width\": {},\n{pad}\"counts\": [",
+                h.bucket_width()
+            );
+            for (i, c) in h.counts().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{c}");
+            }
+            let _ = write!(out, "]\n{}}}", "  ".repeat(depth));
+        }
+    }
+}
+
+/// Formats an `f64` as a JSON-safe token (`null` for non-finite values).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` prints integral floats without a dot; keep them typed as
+        // floats so JSON consumers don't flip between int and float.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_kinds() {
+        let mut reg = Registry::new();
+        reg.set_counter("gpu.core0.issued", 42);
+        reg.set_gauge("mem.q.depth", 7);
+        let mut r = Ratio::default();
+        r.record(true);
+        r.record(false);
+        reg.set_ratio("gpu.core0.l1d.hits", r);
+        assert_eq!(reg.get("gpu.core0.issued"), Some(&Value::Counter(42)));
+        assert_eq!(reg.get("gpu.core0.l1d.hits").unwrap().kind(), "ratio");
+        assert_eq!(reg.len(), 3);
+        assert!((reg.get("gpu.core0.l1d.hits").unwrap().scalar() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_aggregates_same_path() {
+        let mut reg = Registry::new();
+        reg.merge_value("gpu.issued", Value::Counter(10));
+        reg.merge_value("gpu.issued", Value::Counter(5));
+        assert_eq!(reg.get("gpu.issued"), Some(&Value::Counter(15)));
+
+        let mut other = Registry::new();
+        other.set_counter("gpu.issued", 1);
+        other.set_counter("gpu.retired", 2);
+        reg.merge(&other);
+        assert_eq!(reg.get("gpu.issued"), Some(&Value::Counter(16)));
+        assert_eq!(reg.get("gpu.retired"), Some(&Value::Counter(2)));
+    }
+
+    #[test]
+    fn snapshot_delta_counter_and_gauge() {
+        let mut reg = Registry::new();
+        reg.set_counter("c", 10);
+        reg.set_gauge("g", 3);
+        let snap = reg.snapshot();
+        reg.set_counter("c", 25);
+        reg.set_gauge("g", 1);
+        reg.set_counter("new", 4);
+        let d = reg.delta_since(&snap);
+        assert_eq!(d.get("c"), Some(&Value::Counter(15)));
+        assert_eq!(d.get("g"), Some(&Value::Gauge(1)));
+        assert_eq!(d.get("new"), Some(&Value::Counter(4)));
+    }
+
+    #[test]
+    fn delta_survives_component_reset() {
+        let mut reg = Registry::new();
+        reg.set_counter("c", 100);
+        let snap = reg.snapshot();
+        // Component was reset behind our back: the live count went down.
+        reg.set_counter("c", 30);
+        let d = reg.delta_since(&snap);
+        assert_eq!(d.get("c"), Some(&Value::Counter(0)));
+    }
+
+    #[test]
+    fn json_nests_by_dots() {
+        let mut reg = Registry::new();
+        reg.set_counter("gpu.core0.issued", 1);
+        reg.set_counter("gpu.core1.issued", 2);
+        reg.set_counter("mem.reads", 3);
+        let json = reg.to_json();
+        assert!(json.contains("\"gpu\""));
+        assert!(json.contains("\"core0\""));
+        assert!(json.contains("\"issued\": 1"));
+        assert!(json.contains("\"mem\""));
+    }
+
+    #[test]
+    fn json_handles_leaf_with_children() {
+        let mut reg = Registry::new();
+        reg.set_counter("a.b", 1);
+        reg.set_counter("a.b.c", 2);
+        let json = reg.to_json();
+        assert!(json.contains("\"_self\": 1"), "got: {json}");
+        assert!(json.contains("\"c\": 2"), "got: {json}");
+    }
+
+    #[test]
+    fn csv_long_format() {
+        let mut reg = Registry::new();
+        reg.set_ratio("r", Ratio { num: 1, den: 2 });
+        reg.set_histogram("h", Histogram::new(10, 2));
+        let csv = reg.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("path,kind,field,value"));
+        assert!(csv.contains("h,histogram,bucket_width,10"));
+        assert!(csv.contains("h,histogram,bucket_overflow,0"));
+        assert!(csv.contains("r,ratio,num,1"));
+        assert!(csv.contains("r,ratio,value,0.5"));
+    }
+
+    #[test]
+    fn fmt_f64_is_json_safe() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(2.0), "2.0");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,411 @@
+//! Structured event tracing with Chrome trace-event export.
+//!
+//! Components emit cycle-stamped *spans* (drawcalls, warp lifetimes, frames)
+//! and *instants* (DRAM row conflicts, DFSL rebalance decisions) into a
+//! thread-local ring buffer. Each event carries a [`TraceCat`] category;
+//! recording is gated on a per-category enable mask, so with all sinks
+//! disabled an emit site costs one thread-local load and a branch. The
+//! buffer drops the oldest events when full (counted, never reallocating
+//! mid-simulation) and exports to Chrome trace-event JSON, which Perfetto
+//! and `chrome://tracing` load directly.
+//!
+//! The simulator is single-threaded and deterministic; the thread-local
+//! global sink means no component needs a tracer threaded through its
+//! constructor.
+
+use crate::registry::escape_json;
+use emerald_common::types::Cycle;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Event categories, one bit each, used both to gate recording and as the
+/// Perfetto process grouping on export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum TraceCat {
+    /// Warp launch/retire on SIMT cores.
+    Warp = 1 << 0,
+    /// Drawcall start/end in the graphics pipeline.
+    Draw = 1 << 1,
+    /// DRAM events: row conflicts, activations.
+    Dram = 1 << 2,
+    /// Cache events (fills, writebacks).
+    Cache = 1 << 3,
+    /// Display controller: scanout progress, underruns, aborts.
+    Display = 1 << 4,
+    /// CPU traffic-model events.
+    Cpu = 1 << 5,
+    /// DFSL load-balancer decisions.
+    Dfsl = 1 << 6,
+    /// Whole-frame spans.
+    Frame = 1 << 7,
+}
+
+impl TraceCat {
+    /// Every category's bits OR-ed together.
+    pub const ALL: u32 = (1 << 8) - 1;
+
+    /// This category's mask bit.
+    pub fn bit(self) -> u32 {
+        self as u32
+    }
+
+    /// Dotted category name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceCat::Warp => "gpu.warp",
+            TraceCat::Draw => "gfx.draw",
+            TraceCat::Dram => "mem.dram",
+            TraceCat::Cache => "mem.cache",
+            TraceCat::Display => "soc.display",
+            TraceCat::Cpu => "soc.cpu",
+            TraceCat::Dfsl => "gfx.dfsl",
+            TraceCat::Frame => "soc.frame",
+        }
+    }
+
+    /// All categories, in bit order.
+    pub fn all() -> [TraceCat; 8] {
+        [
+            TraceCat::Warp,
+            TraceCat::Draw,
+            TraceCat::Dram,
+            TraceCat::Cache,
+            TraceCat::Display,
+            TraceCat::Cpu,
+            TraceCat::Dfsl,
+            TraceCat::Frame,
+        ]
+    }
+}
+
+/// One recorded event. `dur: Some(_)` makes it a span (`ph: "X"`), `None`
+/// an instant (`ph: "i"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Category (export process, enable-mask bit).
+    pub cat: TraceCat,
+    /// Static event name (shown on the Perfetto slice).
+    pub name: &'static str,
+    /// Track within the category (core id, channel id, …); export thread id.
+    pub track: u32,
+    /// Start cycle.
+    pub ts: Cycle,
+    /// Span length in cycles, or `None` for an instant.
+    pub dur: Option<Cycle>,
+    /// Small set of numeric arguments (`("warp", 3)`).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+const DEFAULT_CAPACITY: usize = 1 << 16;
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+thread_local! {
+    static MASK: Cell<u32> = const { Cell::new(0) };
+    static RING: RefCell<Ring> = const {
+        RefCell::new(Ring {
+            events: VecDeque::new(),
+            capacity: DEFAULT_CAPACITY,
+            dropped: 0,
+        })
+    };
+}
+
+/// Replaces the enable mask (OR of [`TraceCat::bit`]s; [`TraceCat::ALL`]
+/// enables everything, `0` disables all recording).
+pub fn set_enabled(mask: u32) {
+    MASK.with(|m| m.set(mask));
+}
+
+/// Enables one category, leaving the others unchanged.
+pub fn enable(cat: TraceCat) {
+    MASK.with(|m| m.set(m.get() | cat.bit()));
+}
+
+/// Disables all recording.
+pub fn disable_all() {
+    set_enabled(0);
+}
+
+/// The current enable mask.
+pub fn enabled_mask() -> u32 {
+    MASK.with(|m| m.get())
+}
+
+/// Whether `cat` is currently recorded.
+pub fn is_enabled(cat: TraceCat) -> bool {
+    enabled_mask() & cat.bit() != 0
+}
+
+/// Resizes the ring buffer (oldest events are dropped if shrinking) and
+/// clears the dropped-event counter.
+pub fn set_capacity(capacity: usize) {
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        ring.capacity = capacity.max(1);
+        while ring.events.len() > ring.capacity {
+            ring.events.pop_front();
+        }
+        ring.dropped = 0;
+    });
+}
+
+/// Records an instant event (no duration).
+#[inline]
+pub fn instant(cat: TraceCat, name: &'static str, track: u32, ts: Cycle) {
+    instant_args(cat, name, track, ts, &[]);
+}
+
+/// Records an instant event with arguments.
+#[inline]
+pub fn instant_args(
+    cat: TraceCat,
+    name: &'static str,
+    track: u32,
+    ts: Cycle,
+    args: &[(&'static str, u64)],
+) {
+    if !is_enabled(cat) {
+        return;
+    }
+    record(TraceEvent {
+        cat,
+        name,
+        track,
+        ts,
+        dur: None,
+        args: args.to_vec(),
+    });
+}
+
+/// Records a complete span from `start` to `end` cycles.
+#[inline]
+pub fn span(cat: TraceCat, name: &'static str, track: u32, start: Cycle, end: Cycle) {
+    span_args(cat, name, track, start, end, &[]);
+}
+
+/// Records a complete span with arguments.
+#[inline]
+pub fn span_args(
+    cat: TraceCat,
+    name: &'static str,
+    track: u32,
+    start: Cycle,
+    end: Cycle,
+    args: &[(&'static str, u64)],
+) {
+    if !is_enabled(cat) {
+        return;
+    }
+    record(TraceEvent {
+        cat,
+        name,
+        track,
+        ts: start,
+        dur: Some(end.saturating_sub(start)),
+        args: args.to_vec(),
+    });
+}
+
+fn record(ev: TraceEvent) {
+    RING.with(|r| r.borrow_mut().push(ev));
+}
+
+/// Removes and returns all buffered events in record order.
+pub fn drain() -> Vec<TraceEvent> {
+    RING.with(|r| r.borrow_mut().events.drain(..).collect())
+}
+
+/// Number of buffered events.
+pub fn len() -> usize {
+    RING.with(|r| r.borrow().events.len())
+}
+
+/// Events evicted since the last [`set_capacity`]/[`take_dropped`].
+pub fn dropped() -> u64 {
+    RING.with(|r| r.borrow().dropped)
+}
+
+/// Returns and clears the dropped-event counter.
+pub fn take_dropped() -> u64 {
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        std::mem::take(&mut ring.dropped)
+    })
+}
+
+/// Serializes events to Chrome trace-event JSON (the `{"traceEvents": []}`
+/// object form). Categories become processes (via `process_name` metadata),
+/// tracks become thread ids, spans use phase `"X"`, instants phase `"i"`.
+/// Cycles map 1:1 to the viewer's microsecond timestamps, so one second of
+/// Perfetto timeline is one million simulated cycles.
+pub fn export_chrome(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let mut first = true;
+    let mut emit = |line: String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str("  ");
+        out.push_str(&line);
+    };
+
+    // Name one process per category that actually has events.
+    let mut used: u32 = 0;
+    for ev in events {
+        used |= ev.cat.bit();
+    }
+    for cat in TraceCat::all() {
+        if used & cat.bit() != 0 {
+            emit(
+                format!(
+                    "{{\"ph\": \"M\", \"pid\": {}, \"tid\": 0, \"name\": \"process_name\", \
+                     \"args\": {{\"name\": \"{}\"}}}}",
+                    cat.bit(),
+                    escape_json(cat.name())
+                ),
+                &mut first,
+            );
+        }
+    }
+
+    for ev in events {
+        let mut line = String::new();
+        let ph = if ev.dur.is_some() { "X" } else { "i" };
+        let _ = write!(
+            line,
+            "{{\"ph\": \"{ph}\", \"pid\": {}, \"tid\": {}, \"ts\": {}, ",
+            ev.cat.bit(),
+            ev.track,
+            ev.ts
+        );
+        if let Some(dur) = ev.dur {
+            let _ = write!(line, "\"dur\": {dur}, ");
+        } else {
+            // Thread-scoped instant: renders as an arrow on the track.
+            line.push_str("\"s\": \"t\", ");
+        }
+        let _ = write!(
+            line,
+            "\"name\": \"{}\", \"cat\": \"{}\"",
+            escape_json(ev.name),
+            escape_json(ev.cat.name())
+        );
+        if !ev.args.is_empty() {
+            line.push_str(", \"args\": {");
+            for (i, (k, v)) in ev.args.iter().enumerate() {
+                if i > 0 {
+                    line.push_str(", ");
+                }
+                let _ = write!(line, "\"{}\": {v}", escape_json(k));
+            }
+            line.push('}');
+        }
+        line.push('}');
+        emit(line, &mut first);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reset() {
+        disable_all();
+        set_capacity(DEFAULT_CAPACITY);
+        drain();
+    }
+
+    #[test]
+    fn disabled_categories_record_nothing() {
+        reset();
+        instant(TraceCat::Dram, "row_conflict", 0, 100);
+        span(TraceCat::Draw, "draw", 0, 0, 50);
+        assert_eq!(len(), 0);
+
+        set_enabled(TraceCat::Dram.bit());
+        instant(TraceCat::Dram, "row_conflict", 0, 100);
+        span(TraceCat::Draw, "draw", 0, 0, 50); // still masked off
+        let evs = drain();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].cat, TraceCat::Dram);
+        assert_eq!(evs[0].dur, None);
+        reset();
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        reset();
+        set_enabled(TraceCat::ALL);
+        set_capacity(3);
+        for i in 0..5u64 {
+            instant(TraceCat::Warp, "w", 0, i);
+        }
+        assert_eq!(dropped(), 2);
+        let evs = drain();
+        assert_eq!(evs.iter().map(|e| e.ts).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(take_dropped(), 2);
+        assert_eq!(dropped(), 0);
+        reset();
+    }
+
+    #[test]
+    fn span_duration_saturates() {
+        reset();
+        set_enabled(TraceCat::ALL);
+        span(TraceCat::Frame, "frame", 0, 100, 40);
+        let evs = drain();
+        assert_eq!(evs[0].dur, Some(0));
+        reset();
+    }
+
+    #[test]
+    fn chrome_export_shapes() {
+        let events = vec![
+            TraceEvent {
+                cat: TraceCat::Draw,
+                name: "draw0",
+                track: 1,
+                ts: 10,
+                dur: Some(90),
+                args: vec![("prims", 12)],
+            },
+            TraceEvent {
+                cat: TraceCat::Dram,
+                name: "row_conflict",
+                track: 0,
+                ts: 55,
+                dur: None,
+                args: vec![],
+            },
+        ];
+        let json = export_chrome(&events);
+        assert!(json.starts_with("{\"traceEvents\": ["));
+        assert!(json.contains("\"ph\": \"M\""));
+        assert!(json.contains("\"name\": \"gfx.draw\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"dur\": 90"));
+        assert!(json.contains("\"args\": {\"prims\": 12}"));
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(json.contains("\"s\": \"t\""));
+    }
+}

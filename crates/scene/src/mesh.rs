@@ -104,12 +104,36 @@ pub fn unit_cube() -> Mesh {
     let mut m = Mesh::new();
     // (normal axis, sign)
     let faces = [
-        (Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0)),
-        (Vec3::new(-1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, -1.0)),
-        (Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 0.0, 0.0)),
-        (Vec3::new(0.0, -1.0, 0.0), Vec3::new(0.0, 0.0, -1.0), Vec3::new(1.0, 0.0, 0.0)),
-        (Vec3::new(0.0, 0.0, 1.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(-1.0, 0.0, 0.0)),
-        (Vec3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0)),
+        (
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ),
+        (
+            Vec3::new(-1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, -1.0),
+        ),
+        (
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 0.0, 0.0),
+        ),
+        (
+            Vec3::new(0.0, -1.0, 0.0),
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::new(1.0, 0.0, 0.0),
+        ),
+        (
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+        ),
+        (
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+        ),
     ];
     for (n, up, right) in faces {
         let base = m.positions.len() as u32;
@@ -168,11 +192,7 @@ pub fn uv_sphere(radius: f32, stacks: usize, slices: usize) -> Mesh {
         let phi = PI * st as f32 / stacks as f32; // 0 at +Y pole
         for sl in 0..=slices {
             let theta = TAU * sl as f32 / slices as f32;
-            let n = Vec3::new(
-                phi.sin() * theta.cos(),
-                phi.cos(),
-                phi.sin() * theta.sin(),
-            );
+            let n = Vec3::new(phi.sin() * theta.cos(), phi.cos(), phi.sin() * theta.sin());
             m.positions.push(n * radius);
             m.normals.push(n);
             m.uvs.push(Vec2::new(
@@ -264,9 +284,8 @@ pub fn teapot_like() -> Mesh {
     );
     body.merge(&handle);
     let mut spout = torus(0.3, 0.1, 12, 8);
-    spout.transform(
-        &Mat4::translate(Vec3::new(0.95, 0.1, 0.0)).mul_mat4(&Mat4::rotate_z(PI / 3.0)),
-    );
+    spout
+        .transform(&Mat4::translate(Vec3::new(0.95, 0.1, 0.0)).mul_mat4(&Mat4::rotate_z(PI / 3.0)));
     body.merge(&spout);
     body
 }
@@ -287,7 +306,7 @@ pub fn flip(mesh: &mut Mesh) {
 pub fn room_with_columns(width: f32, height: f32, depth: f32, columns: usize) -> Mesh {
     let mut room = Mesh::new();
     let grid = || plane_grid(8, 8); // front face is +Y
-    // Each wall: orient the grid so its front face points inward.
+                                    // Each wall: orient the grid so its front face points inward.
     let mut add = |m: Mat4, flip_front: bool, scale: Vec3| {
         let mut w = grid();
         if flip_front {
@@ -361,7 +380,8 @@ pub fn prism(n: usize, radius: f32, height: f32) -> Mesh {
         for s in 0..=VSEG {
             let v = s as f32 / VSEG as f32;
             let y = -height / 2.0 + height * v;
-            m.positions.push(Vec3::new(nrm.x * radius, y, nrm.z * radius));
+            m.positions
+                .push(Vec3::new(nrm.x * radius, y, nrm.z * radius));
             m.normals.push(nrm);
             m.uvs.push(Vec2::new(i as f32 / n as f32, v));
         }
@@ -388,10 +408,7 @@ pub fn chair() -> Mesh {
     m.merge(&part(Vec3::new(1.0, 0.1, 1.0), Vec3::new(0.0, 0.0, 0.0)));
     m.merge(&part(Vec3::new(1.0, 1.0, 0.1), Vec3::new(0.0, 0.55, -0.45)));
     for (x, z) in [(-0.45, -0.45), (0.45, -0.45), (-0.45, 0.45), (0.45, 0.45)] {
-        m.merge(&part(
-            Vec3::new(0.08, 0.9, 0.08),
-            Vec3::new(x, -0.5, z),
-        ));
+        m.merge(&part(Vec3::new(0.08, 0.9, 0.08), Vec3::new(x, -0.5, z)));
     }
     for x in [-0.5, 0.5] {
         m.merge(&part(Vec3::new(0.08, 0.08, 0.9), Vec3::new(x, 0.3, 0.0)));

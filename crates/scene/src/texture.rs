@@ -59,12 +59,7 @@ impl TextureData {
     /// A smooth two-axis gradient.
     pub fn gradient(size: u32) -> Self {
         Self::from_fn(size, size, |x, y| {
-            [
-                x as f32 / size as f32,
-                y as f32 / size as f32,
-                0.5,
-                1.0,
-            ]
+            [x as f32 / size as f32, y as f32 / size as f32, 0.5, 1.0]
         })
     }
 

@@ -167,7 +167,10 @@ mod tests {
         // Table 8: everything textured, only W5 translucent.
         assert!(w.iter().all(|x| x.textured()));
         assert_eq!(
-            w.iter().filter(|x| x.translucent).map(|x| x.id).collect::<Vec<_>>(),
+            w.iter()
+                .filter(|x| x.translucent)
+                .map(|x| x.id)
+                .collect::<Vec<_>>(),
             ["W5"]
         );
         // W4/W5 share geometry.

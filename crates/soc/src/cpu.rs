@@ -124,6 +124,16 @@ pub struct CpuStats {
     pub frames: u64,
 }
 
+impl CpuStats {
+    /// Publishes the counters into `reg` under `prefix` (e.g. `soc.cpu0`).
+    pub fn publish(&self, reg: &mut emerald_obs::Registry, prefix: &str) {
+        reg.set_counter(format!("{prefix}.instrs"), self.instrs);
+        reg.set_counter(format!("{prefix}.mem_requests"), self.mem_requests);
+        reg.set_counter(format!("{prefix}.stall_cycles"), self.stall_cycles);
+        reg.set_counter(format!("{prefix}.frames"), self.frames);
+    }
+}
+
 /// State the SoC reads after ticking a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CpuEvent {
@@ -219,6 +229,11 @@ impl CpuCoreModel {
     /// Statistics so far.
     pub fn stats(&self) -> CpuStats {
         self.stats
+    }
+
+    /// Clears statistics (script position and cache state survive).
+    pub fn reset_stats(&mut self) {
+        self.stats = CpuStats::default();
     }
 
     /// True when the core reached the end of its per-frame script.

@@ -21,6 +21,16 @@ pub struct DisplayStats {
     pub requests: u64,
 }
 
+impl DisplayStats {
+    /// Publishes the counters into `reg` under `prefix` (e.g. `soc.display`).
+    pub fn publish(&self, reg: &mut emerald_obs::Registry, prefix: &str) {
+        reg.set_counter(format!("{prefix}.serviced_bytes"), self.serviced_bytes);
+        reg.set_counter(format!("{prefix}.frames_completed"), self.frames_completed);
+        reg.set_counter(format!("{prefix}.frames_aborted"), self.frames_aborted);
+        reg.set_counter(format!("{prefix}.requests"), self.requests);
+    }
+}
+
 /// The scanout engine.
 #[derive(Debug)]
 pub struct DisplayController {
@@ -72,6 +82,11 @@ impl DisplayController {
         self.stats
     }
 
+    /// Clears statistics (scanout position and FIFO state survive).
+    pub fn reset_stats(&mut self) {
+        self.stats = DisplayStats::default();
+    }
+
     /// The refresh period in cycles.
     pub fn period(&self) -> Cycle {
         self.period
@@ -117,8 +132,21 @@ impl DisplayController {
             // Period over: did the whole frame scan out?
             if self.returned >= self.fb_bytes {
                 self.stats.frames_completed += 1;
+                emerald_obs::trace::instant(
+                    emerald_obs::TraceCat::Display,
+                    "scanout_complete",
+                    0,
+                    now,
+                );
             } else {
                 self.stats.frames_aborted += 1;
+                emerald_obs::trace::instant_args(
+                    emerald_obs::TraceCat::Display,
+                    "frame_aborted",
+                    0,
+                    now,
+                    &[("returned", self.returned), ("needed", self.fb_bytes)],
+                );
             }
             self.start_frame(now);
             return;
@@ -129,6 +157,13 @@ impl DisplayController {
         // the FIFO depth.
         if beam > self.returned + self.fifo_bytes && self.fetch_pos >= beam {
             self.stats.frames_aborted += 1;
+            emerald_obs::trace::instant_args(
+                emerald_obs::TraceCat::Display,
+                "underrun",
+                0,
+                now,
+                &[("beam", beam), ("returned", self.returned)],
+            );
             // Abort and retry at the next period boundary.
             self.aborted_until = Some(self.frame_start + self.period);
             return;

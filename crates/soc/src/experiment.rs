@@ -54,12 +54,8 @@ impl MemCfgKind {
         };
         match self {
             MemCfgKind::Bas => MemorySystemConfig::baseline(2, dram),
-            MemCfgKind::Dcb => {
-                MemorySystemConfig::dash(2, dram, dash_cfg(Clustering::CpuOnly))
-            }
-            MemCfgKind::Dtb => {
-                MemorySystemConfig::dash(2, dram, dash_cfg(Clustering::System))
-            }
+            MemCfgKind::Dcb => MemorySystemConfig::dash(2, dram, dash_cfg(Clustering::CpuOnly)),
+            MemCfgKind::Dtb => MemorySystemConfig::dash(2, dram, dash_cfg(Clustering::System)),
             MemCfgKind::Hmc => MemorySystemConfig::hmc(2, dram),
         }
     }
@@ -161,13 +157,17 @@ pub fn run_cell(workload: &WorkloadDef, kind: MemCfgKind, params: &RunParams) ->
     let binding = SceneBinding::new(&soc.mem, workload);
     let aspect = params.width as f32 / params.height as f32;
 
-    // Warm-up frame.
+    // Warm-up frame. Profiled frames are measured as a registry delta
+    // against the post-warm-up snapshot instead of resetting component
+    // counters: every windowed quantity (DRAM, display, CPU) comes from
+    // the same snapshot, so nothing can double-count or miss a reset.
     soc.run_frame(
         vec![binding.draw_for_frame(0, aspect, false)],
         params.max_cycles_per_frame,
     );
-    soc.memsys.reset_stats();
-    let display_before = soc.display_stats();
+    let mut reg = emerald_obs::Registry::new();
+    soc.publish(&mut reg);
+    let warmup = reg.snapshot();
 
     let mut frames = Vec::new();
     for f in 1..=params.frames {
@@ -178,8 +178,11 @@ pub fn run_cell(workload: &WorkloadDef, kind: MemCfgKind, params: &RunParams) ->
         frames.push(rec);
     }
 
-    let mem_stats = soc.memsys.stats();
-    let display_after = soc.display_stats();
+    soc.publish(&mut reg);
+    let delta = reg.delta_since(&warmup);
+    let counter = |path: &str| delta.get(path).map(|v| v.scalar() as u64).unwrap_or(0);
+    let bytes = counter("mem.dram.bytes") as f64;
+    let activations = counter("mem.dram.activations") as f64;
     let probes = SourceClass::ALL
         .iter()
         .map(|&c| (c, soc.memsys.probe_samples(c).to_vec()))
@@ -190,10 +193,17 @@ pub fn run_cell(workload: &WorkloadDef, kind: MemCfgKind, params: &RunParams) ->
         model: workload.id.to_string(),
         avg_gpu_cycles: frames.iter().map(|r| r.gpu_cycles as f64).sum::<f64>() / n,
         avg_total_cycles: frames.iter().map(|r| r.total_cycles as f64).sum::<f64>() / n,
-        row_hit_rate: mem_stats.row_hits.value(),
-        bytes_per_activation: mem_stats.bytes_per_activation(),
-        display_serviced_bytes: display_after.serviced_bytes - display_before.serviced_bytes,
-        display_aborts: display_after.frames_aborted - display_before.frames_aborted,
+        row_hit_rate: delta
+            .get("mem.dram.row_hits")
+            .map(|v| v.scalar())
+            .unwrap_or(0.0),
+        bytes_per_activation: if activations > 0.0 {
+            bytes / activations
+        } else {
+            0.0
+        },
+        display_serviced_bytes: counter("soc.display.serviced_bytes"),
+        display_aborts: counter("soc.display.frames_aborted"),
         probes,
         frames,
     }

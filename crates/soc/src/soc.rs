@@ -162,6 +162,32 @@ impl Soc {
         self.cpus.iter().map(|c| c.stats()).collect()
     }
 
+    /// Publishes the whole SoC's statistics into `reg`: the renderer under
+    /// `gfx`, the memory system under `mem.dram`, the display under
+    /// `soc.display` and each CPU core under `soc.cpuN`.
+    pub fn publish(&self, reg: &mut emerald_obs::Registry) {
+        self.renderer.publish(reg, "gfx");
+        self.memsys.publish(reg, "mem.dram");
+        self.display.stats().publish(reg, "soc.display");
+        for cpu in &self.cpus {
+            cpu.stats().publish(reg, &format!("soc.cpu{}", cpu.id));
+        }
+        reg.set_counter("soc.frames_rendered", self.frames_rendered);
+    }
+
+    /// Clears the cumulative counters of every component (memory system,
+    /// display, CPU cores) so a fresh [`Soc::publish`] reflects only work
+    /// from this point on. Windowed measurement should prefer
+    /// [`emerald_obs::Registry::delta_since`] over resetting, but steady-
+    /// state experiments use this to discard warm-up frames.
+    pub fn reset_stats(&mut self) {
+        self.memsys.reset_stats();
+        self.display.reset_stats();
+        for cpu in &mut self.cpus {
+            cpu.reset_stats();
+        }
+    }
+
     fn route_responses(&mut self) {
         for r in self.memsys.drain_finished(self.now) {
             match r.source {
@@ -200,8 +226,7 @@ impl Soc {
             } else {
                 self.renderer.fragments_launched() as f64 / self.expected_frags as f64
             };
-            let elapsed =
-                (self.now - gpu_start) as f64 / self.cfg.gpu_frame_period as f64;
+            let elapsed = (self.now - gpu_start) as f64 / self.cfg.gpu_frame_period as f64;
             dash.update_progress(TrafficSource::Gpu, done.min(1.0), elapsed.min(1.0));
         } else {
             dash.update_progress(TrafficSource::Gpu, 1.0, 1.0);
@@ -295,13 +320,18 @@ impl Soc {
             if gpu_done && self.cpus.iter().all(|c| c.at_frame_end()) {
                 break;
             }
-            if std::env::var_os("EMERALD_SOC_DEBUG").is_some() && (now - frame_start).is_multiple_of(500_000) {
+            if std::env::var_os("EMERALD_SOC_DEBUG").is_some()
+                && (now - frame_start).is_multiple_of(500_000)
+            {
                 eprintln!(
                     "[soc dbg] t={} gpu_active={} gpu_done={} cpu_end={:?} rend: {}",
                     now - frame_start,
                     gpu_active,
                     gpu_done,
-                    self.cpus.iter().map(|c| c.at_frame_end()).collect::<Vec<_>>(),
+                    self.cpus
+                        .iter()
+                        .map(|c| c.at_frame_end())
+                        .collect::<Vec<_>>(),
                     self.renderer.debug_snapshot()
                 );
             }
@@ -314,6 +344,14 @@ impl Soc {
         let gfx = self.renderer.frame_stats(gpu_cycles);
         self.expected_frags = gfx.fragments.max(1);
         self.frames_rendered += 1;
+        emerald_obs::trace::span_args(
+            emerald_obs::TraceCat::Frame,
+            "soc_frame",
+            0,
+            frame_start,
+            self.now,
+            &[("frame", self.frames_rendered), ("gpu_cycles", gpu_cycles)],
+        );
         SocFrameRecord {
             gpu_cycles,
             total_cycles: self.now - frame_start,
@@ -325,31 +363,27 @@ impl Soc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use emerald_common::math::{Mat4, Vec3};
     use emerald_core::shaders::{self, FsOptions};
     use emerald_core::state::{Topology, VertexBuffer};
-    use emerald_common::math::{Mat4, Vec3};
     use emerald_mem::dram::DramConfig;
     use emerald_scene::mesh::unit_cube;
 
     fn small_soc(memsys: MemorySystemConfig) -> Soc {
         let mut cfg = SocConfig::case_study_1(memsys, 64, 48, 400_000);
         // Shrink CPU scripts so tests run fast.
-        cfg.cpu_workloads = vec![
-            CpuWorkload::driver(),
-            CpuWorkload::compute(),
-        ];
+        cfg.cpu_workloads = vec![CpuWorkload::driver(), CpuWorkload::compute()];
         Soc::new(cfg)
     }
 
     fn cube_draw(soc: &Soc, frame: u32) -> DrawCall {
         let a = 0.4 + frame as f32 * 0.08;
-        let mvp = Mat4::perspective(60f32.to_radians(), 64.0 / 48.0, 0.1, 50.0).mul_mat4(
-            &Mat4::look_at(
+        let mvp =
+            Mat4::perspective(60f32.to_radians(), 64.0 / 48.0, 0.1, 50.0).mul_mat4(&Mat4::look_at(
                 Vec3::new(2.0 * a.cos(), 1.0, 2.0 * a.sin()),
                 Vec3::splat(0.0),
                 Vec3::new(0.0, 1.0, 0.0),
-            ),
-        );
+            ));
         let fso = FsOptions {
             textured: false,
             ..FsOptions::default()

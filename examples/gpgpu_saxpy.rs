@@ -58,11 +58,12 @@ fn main() {
         }
     }
     println!("SAXPY over {n} elements: {cycles} cycles, {errors} errors");
-    println!(
-        "  instructions issued : {}",
-        gpu.stats().issued
-    );
+    println!("  instructions issued : {}", gpu.stats().issued);
     println!("  warps retired       : {}", gpu.stats().warps_retired);
-    println!("  DRAM reads/writes   : {}/{}", gpu.stats().mem_reads, gpu.stats().mem_writes);
+    println!(
+        "  DRAM reads/writes   : {}/{}",
+        gpu.stats().mem_reads,
+        gpu.stats().mem_writes
+    );
     assert_eq!(errors, 0);
 }

@@ -32,11 +32,20 @@ fn main() {
 
     println!("rendered {} ({})", cube.id, cube.name);
     println!("  GPU cycles        : {}", stats.cycles);
-    println!("  primitives        : {} drawn, {} culled", stats.prims_distributed, stats.prims_culled);
+    println!(
+        "  primitives        : {} drawn, {} culled",
+        stats.prims_distributed, stats.prims_culled
+    );
     println!("  fragments shaded  : {}", stats.fragments);
     println!("  instructions      : {}", stats.instructions);
-    println!("  L1 misses (D/T/Z) : {}/{}/{}", stats.l1d_misses, stats.l1t_misses, stats.l1z_misses);
-    println!("  DRAM reads/writes : {}/{}", stats.dram_reads, stats.dram_writes);
+    println!(
+        "  L1 misses (D/T/Z) : {}/{}/{}",
+        stats.l1d_misses, stats.l1t_misses, stats.l1z_misses
+    );
+    println!(
+        "  DRAM reads/writes : {}/{}",
+        stats.dram_reads, stats.dram_writes
+    );
 
     // 4. The frame is a real image in simulated memory. Write it out and
     //    print a tiny ASCII thumbnail.

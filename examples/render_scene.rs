@@ -8,8 +8,10 @@ use emerald::prelude::*;
 
 fn main() {
     let (w, h) = (256u32, 192u32);
-    println!("{:<4} {:>8} {:>8} {:>9} {:>9} {:>8} {:>8}",
-        "id", "tris", "cycles", "frags", "hiz-kill", "tc-tiles", "l1-miss");
+    println!(
+        "{:<4} {:>8} {:>8} {:>9} {:>9} {:>8} {:>8}",
+        "id", "tris", "cycles", "frags", "hiz-kill", "tc-tiles", "l1-miss"
+    );
     for wl in emerald::scene::workloads::w_models() {
         let mem = SharedMem::with_capacity(1 << 27);
         let rt = RenderTarget::alloc(&mem, w, h);

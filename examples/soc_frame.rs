@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --release --example soc_frame`
 
+use emerald::mem::dram::DramConfig as Dram;
 use emerald::prelude::*;
 use emerald::soc::experiment::{calibrate_period, run_cell, RunParams};
-use emerald::mem::dram::DramConfig as Dram;
 
 fn main() {
     let (w, h) = (160u32, 120u32);

@@ -8,10 +8,10 @@
 
 use emerald::core::session::SceneBinding;
 use emerald::mem::dram::DramConfig;
+use emerald::mem::system::SourceClass;
 use emerald::prelude::*;
 use emerald::soc::experiment::{calibrate_period, MemCfgKind};
 use emerald::soc::trace::{filter_trace, replay_trace};
-use emerald::mem::system::SourceClass;
 
 fn main() {
     let (w, h) = (96u32, 72u32);
@@ -19,7 +19,12 @@ fn main() {
     let period = calibrate_period(m2, w, h);
 
     // 1. Execution-driven BAS run with trace capture.
-    let cfg = SocConfig::case_study_1(MemCfgKind::Bas.build(DramConfig::lpddr3_1333()), w, h, period);
+    let cfg = SocConfig::case_study_1(
+        MemCfgKind::Bas.build(DramConfig::lpddr3_1333()),
+        w,
+        h,
+        period,
+    );
     let mut soc = Soc::new(cfg);
     soc.memsys.enable_trace();
     let binding = SceneBinding::new(&soc.mem, m2);
@@ -34,12 +39,20 @@ fn main() {
         }
     }
     let trace = soc.memsys.take_trace();
-    println!("recorded {} requests from the execution-driven BAS run", trace.len());
+    println!(
+        "recorded {} requests from the execution-driven BAS run",
+        trace.len()
+    );
     let gpu_reqs = filter_trace(&trace, SourceClass::Gpu).len();
     println!("  ({gpu_reqs} from the GPU)");
 
     // 2. Execution-driven HMC run (ground truth for the comparison).
-    let cfg = SocConfig::case_study_1(MemCfgKind::Hmc.build(DramConfig::lpddr3_1333()), w, h, period);
+    let cfg = SocConfig::case_study_1(
+        MemCfgKind::Hmc.build(DramConfig::lpddr3_1333()),
+        w,
+        h,
+        period,
+    );
     let mut soc = Soc::new(cfg);
     let binding = SceneBinding::new(&soc.mem, m2);
     let mut hmc_gpu = 0.0;

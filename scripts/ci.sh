@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Offline-safe CI gate: format, lint, build, test.
+#
+# The main workspace has zero external dependencies, so everything here
+# runs without network access. crates/bench (criterion) is a standalone
+# workspace and is deliberately NOT covered — it needs crates.io once.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> examples smoke test"
+cargo run --release --example trace_export >/dev/null
+
+echo "CI gate passed."

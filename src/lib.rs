@@ -16,6 +16,7 @@
 //! | [`scene`] | `emerald-scene` | meshes, textures, cameras, workloads |
 //! | [`core`] | `emerald-core` | the graphics pipeline + DFSL |
 //! | [`soc`] | `emerald-soc` | CPU cluster, display, full system |
+//! | [`obs`] | `emerald-obs` | metrics registry, event traces, timelines |
 //!
 //! ## Quickstart: render a frame on the simulated GPU
 //!
@@ -48,6 +49,7 @@ pub use emerald_core as core;
 pub use emerald_gpu as gpu;
 pub use emerald_isa as isa;
 pub use emerald_mem as mem;
+pub use emerald_obs as obs;
 pub use emerald_scene as scene;
 pub use emerald_soc as soc;
 
@@ -66,6 +68,7 @@ pub mod prelude {
     pub use emerald_mem::dram::DramConfig;
     pub use emerald_mem::image::{MemImage, SharedMem};
     pub use emerald_mem::system::{MemorySystem, MemorySystemConfig};
+    pub use emerald_obs::{Registry, Snapshot, TraceCat, WindowedSampler};
     pub use emerald_scene::{mesh, texture, workloads, Mesh, OrbitCamera, TextureData};
     pub use emerald_soc::{MemCfgKind, Soc, SocConfig};
 }

@@ -9,7 +9,12 @@ fn render_once() -> (u64, Vec<u32>, u64) {
     let mem = SharedMem::with_capacity(1 << 26);
     let rt = RenderTarget::alloc(&mem, 64, 48);
     rt.clear(&mem, [0.0; 4], 1.0);
-    let mut r = GpuRenderer::new(GpuConfig::tiny(), GfxConfig::case_study_2(), mem.clone(), rt);
+    let mut r = GpuRenderer::new(
+        GpuConfig::tiny(),
+        GfxConfig::case_study_2(),
+        mem.clone(),
+        rt,
+    );
     let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
         2,
         DramConfig::lpddr3_1600(),

@@ -10,7 +10,12 @@ fn dfsl_converges_to_measured_best_wt() {
     let wl = emerald::scene::workloads::w_models().swap_remove(2);
     let mem = SharedMem::with_capacity(1 << 26);
     let rt = RenderTarget::alloc(&mem, w, h);
-    let mut r = GpuRenderer::new(GpuConfig::tiny(), GfxConfig::case_study_2(), mem.clone(), rt);
+    let mut r = GpuRenderer::new(
+        GpuConfig::tiny(),
+        GfxConfig::case_study_2(),
+        mem.clone(),
+        rt,
+    );
     let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
         2,
         DramConfig::lpddr3_1600(),
@@ -49,7 +54,12 @@ fn draw_level_dfsl_tracks_two_draws_independently() {
     let (w, h) = (64u32, 48u32);
     let mem = SharedMem::with_capacity(1 << 26);
     let rt = RenderTarget::alloc(&mem, w, h);
-    let mut r = GpuRenderer::new(GpuConfig::tiny(), GfxConfig::case_study_2(), mem.clone(), rt);
+    let mut r = GpuRenderer::new(
+        GpuConfig::tiny(),
+        GfxConfig::case_study_2(),
+        mem.clone(),
+        rt,
+    );
     let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
         2,
         DramConfig::lpddr3_1600(),

@@ -96,7 +96,12 @@ fn block_reduction_with_shared_memory_and_barriers() {
         @p2 ld.shared.b32 r10, [r4+0]
         @p2 st.global.b32 [r9+0], r10
         exit";
-    let mut k = Kernel::linear(Rc::new(assemble(src).unwrap()), n, 64, vec![input as u32, out as u32]);
+    let mut k = Kernel::linear(
+        Rc::new(assemble(src).unwrap()),
+        n,
+        64,
+        vec![input as u32, out as u32],
+    );
     k.shared_bytes = 64 * 4;
     gpu.launch_kernel(k);
     gpu.run_to_idle(0, 20_000_000, &mut ctx, &mut port);
@@ -113,7 +118,12 @@ fn graphics_and_compute_share_the_same_cores() {
     let mem = SharedMem::with_capacity(1 << 26);
     let rt = RenderTarget::alloc(&mem, 48, 32);
     rt.clear(&mem, [0.0; 4], 1.0);
-    let mut r = GpuRenderer::new(GpuConfig::tiny(), GfxConfig::case_study_2(), mem.clone(), rt);
+    let mut r = GpuRenderer::new(
+        GpuConfig::tiny(),
+        GfxConfig::case_study_2(),
+        mem.clone(),
+        rt,
+    );
     let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
         2,
         DramConfig::lpddr3_1600(),

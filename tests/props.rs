@@ -1,15 +1,18 @@
 //! Workspace-level property tests: the strongest invariant we have is
 //! that the *hardware* pipeline and the *software* reference renderer
 //! agree bit-for-bit on arbitrary geometry.
+//!
+//! Runs on the in-tree deterministic harness (`emerald::common::check`);
+//! the offline build has no proptest.
 
+use emerald::common::check::check_n;
+use emerald::common::rng::Xorshift64;
 use emerald::core::reference::{diff_pixels, render_reference};
 use emerald::core::shaders::{self, FsOptions};
 use emerald::core::state::{Topology, VertexBuffer};
 use emerald::prelude::*;
-use proptest::prelude::*;
 
 fn arbitrary_mesh(tris: usize, seed: u64) -> Mesh {
-    use emerald::common::rng::Xorshift64;
     let mut rng = Xorshift64::new(seed);
     let mut m = Mesh::default();
     for _ in 0..tris * 3 {
@@ -17,20 +20,22 @@ fn arbitrary_mesh(tris: usize, seed: u64) -> Mesh {
         let p = Vec3::new(r(&mut rng), r(&mut rng), r(&mut rng));
         m.positions.push(p);
         m.normals.push(p.normalized());
-        m.uvs
-            .push(emerald::common::math::Vec2::new(rng.next_f32(), rng.next_f32()));
+        m.uvs.push(emerald::common::math::Vec2::new(
+            rng.next_f32(),
+            rng.next_f32(),
+        ));
     }
     m.indices = (0..(tris * 3) as u32).collect();
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Random triangle soups must render identically on the timing model
-    /// and the reference, for both opaque and blended state.
-    #[test]
-    fn hardware_equals_reference_on_random_meshes(seed in 0u64..1000, blend in any::<bool>()) {
+/// Random triangle soups must render identically on the timing model
+/// and the reference, for both opaque and blended state.
+#[test]
+fn hardware_equals_reference_on_random_meshes() {
+    check_n("hardware_equals_reference", 8, |rng| {
+        let seed = rng.below(1000);
+        let blend = rng.chance(0.5);
         let (w, h) = (48u32, 32u32);
         let mem = SharedMem::with_capacity(1 << 26);
         let rt = RenderTarget::alloc(&mem, w, h);
@@ -61,26 +66,40 @@ proptest! {
         ref_rt.clear(&mem, [0.0; 4], 1.0);
         render_reference(&mem, ref_rt, &dc, fso);
 
-        let mut r = GpuRenderer::new(GpuConfig::tiny(), GfxConfig::case_study_2(), mem.clone(), rt);
+        let mut r = GpuRenderer::new(
+            GpuConfig::tiny(),
+            GfxConfig::case_study_2(),
+            mem.clone(),
+            rt,
+        );
         let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
             2,
             DramConfig::lpddr3_1600(),
         )));
         r.draw(dc);
         r.run_frame(&mut port, 200_000_000);
-        prop_assert_eq!(diff_pixels(&rt.read_color(&mem), &ref_rt.read_color(&mem)), 0);
-    }
+        assert_eq!(
+            diff_pixels(&rt.read_color(&mem), &ref_rt.read_color(&mem)),
+            0
+        );
+    });
+}
 
-    /// Strip topology must also match (exercises alternating winding and
-    /// vertex-warp overlap).
-    #[test]
-    fn strips_match_reference(seed in 0u64..500) {
+/// Strip topology must also match (exercises alternating winding and
+/// vertex-warp overlap).
+#[test]
+fn strips_match_reference() {
+    check_n("strips_match_reference", 8, |rng| {
+        let seed = rng.below(500);
         let (w, h) = (48u32, 32u32);
         let mem = SharedMem::with_capacity(1 << 26);
         let rt = RenderTarget::alloc(&mem, w, h);
         rt.clear(&mem, [0.0; 4], 1.0);
         let mesh = arbitrary_mesh(14, seed ^ 0xABCD);
-        let fso = FsOptions { textured: false, ..FsOptions::default() };
+        let fso = FsOptions {
+            textured: false,
+            ..FsOptions::default()
+        };
         let mvp = Mat4::perspective(60f32.to_radians(), 1.5, 0.3, 30.0)
             .mul_mat4(&Mat4::translate(Vec3::new(0.0, 0.0, -2.5)));
         let mut vb = VertexBuffer::upload(&mem, &mesh);
@@ -99,13 +118,21 @@ proptest! {
         let ref_rt = RenderTarget::alloc(&mem, w, h);
         ref_rt.clear(&mem, [0.0; 4], 1.0);
         render_reference(&mem, ref_rt, &dc, fso);
-        let mut r = GpuRenderer::new(GpuConfig::tiny(), GfxConfig::case_study_2(), mem.clone(), rt);
+        let mut r = GpuRenderer::new(
+            GpuConfig::tiny(),
+            GfxConfig::case_study_2(),
+            mem.clone(),
+            rt,
+        );
         let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
             2,
             DramConfig::lpddr3_1600(),
         )));
         r.draw(dc);
         r.run_frame(&mut port, 200_000_000);
-        prop_assert_eq!(diff_pixels(&rt.read_color(&mem), &ref_rt.read_color(&mem)), 0);
-    }
+        assert_eq!(
+            diff_pixels(&rt.read_color(&mem), &ref_rt.read_color(&mem)),
+            0
+        );
+    });
 }

@@ -12,7 +12,12 @@ const H: u32 = 48;
 fn setup(mem: &SharedMem) -> (GpuRenderer, SimpleMemPort, RenderTarget) {
     let rt = RenderTarget::alloc(mem, W, H);
     rt.clear(mem, [0.0; 4], 1.0);
-    let r = GpuRenderer::new(GpuConfig::tiny(), GfxConfig::case_study_2(), mem.clone(), rt);
+    let r = GpuRenderer::new(
+        GpuConfig::tiny(),
+        GfxConfig::case_study_2(),
+        mem.clone(),
+        rt,
+    );
     let port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
         2,
         DramConfig::lpddr3_1600(),
