@@ -176,7 +176,7 @@ mod tests {
     use crate::state::VertexBuffer;
     use emerald_mem::image::SharedMem;
     use emerald_scene::mesh::plane_grid;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn draw(topology: Topology, indices: Option<Vec<u32>>) -> DrawCall {
         let mem = SharedMem::with_capacity(1 << 22);
@@ -188,8 +188,8 @@ mod tests {
         DrawCall {
             vb,
             topology,
-            vs: Rc::new(emerald_isa::assemble("exit").unwrap()),
-            fs: Rc::new(emerald_isa::assemble("exit").unwrap()),
+            vs: Arc::new(emerald_isa::assemble("exit").unwrap()),
+            fs: Arc::new(emerald_isa::assemble("exit").unwrap()),
             mvp: [0.0; 16],
             depth_test: true,
             depth_write: true,

@@ -9,9 +9,11 @@
 use crate::state::{RenderTarget, TextureDesc};
 use emerald_common::math::{pack_rgba8, unpack_rgba8};
 use emerald_common::types::Addr;
+use emerald_gpu::phase::CycleCtx;
 use emerald_isa::op::MemSpace;
 use emerald_isa::ExecCtx;
-use emerald_mem::image::SharedMem;
+use emerald_mem::image::{MemReadGuard, SharedMem};
+use emerald_mem::view::{FuncMem, ImageView, StoreBuffer, WClass};
 
 /// Functional statistics from shader-side graphics operations.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -26,18 +28,21 @@ pub struct GfxCtxStats {
     pub fb_writes: u64,
 }
 
-/// The graphics [`ExecCtx`].
+/// The graphics [`ExecCtx`], generic over its functional memory so the
+/// same sampling/depth/blend logic runs both directly against the live
+/// [`SharedMem`] (sequential host code) and against a frozen
+/// [`ImageView`] during the parallel core phase.
 #[derive(Debug, Clone)]
-pub struct GfxCtx {
-    mem: SharedMem,
+pub struct GfxCtx<M: FuncMem = SharedMem> {
+    mem: M,
     rt: RenderTarget,
     textures: [Option<TextureDesc>; 4],
     stats: GfxCtxStats,
 }
 
-impl GfxCtx {
+impl<M: FuncMem> GfxCtx<M> {
     /// Creates a context rendering into `rt`.
-    pub fn new(mem: SharedMem, rt: RenderTarget) -> Self {
+    pub fn new(mem: M, rt: RenderTarget) -> Self {
         Self {
             mem,
             rt,
@@ -65,8 +70,8 @@ impl GfxCtx {
         &self.rt
     }
 
-    /// The backing memory image.
-    pub fn mem(&self) -> &SharedMem {
+    /// The backing functional memory.
+    pub fn mem(&self) -> &M {
         &self.mem
     }
 
@@ -85,7 +90,7 @@ impl GfxCtx {
     }
 }
 
-impl ExecCtx for GfxCtx {
+impl<M: FuncMem> ExecCtx for GfxCtx<M> {
     fn load(&mut self, _space: MemSpace, addr: Addr) -> u32 {
         self.mem.read_u32(addr)
     }
@@ -112,12 +117,13 @@ impl ExecCtx for GfxCtx {
         let y0w = wrap(y0, tex.height);
         let y1w = wrap(y0 + 1.0, tex.height);
         let mut out = [0.0f32; 4];
+        let mem = &mut self.mem;
         let mut fetch = |x: u32, y: u32, w: f32| {
             let addr = tex.texel_addr(x, y);
             if !texel_addrs.contains(&addr) {
                 texel_addrs.push(addr);
             }
-            let c = unpack_rgba8(self.mem.read_u32(addr));
+            let c = unpack_rgba8(mem.read_u32(addr));
             for k in 0..4 {
                 out[k] += c[k] * w;
             }
@@ -173,6 +179,76 @@ impl ExecCtx for GfxCtx {
         self.mem
             .write_u32(addr, pack_rgba8(rgba[0], rgba[1], rgba[2], rgba[3]));
         addr
+    }
+}
+
+/// Frozen snapshot of a [`GfxCtx`] for one parallel phase: a read guard
+/// on the image plus copies of the (small, `Copy`) pipeline bindings.
+#[derive(Debug)]
+pub struct GfxFrozen<'s> {
+    img: MemReadGuard<'s>,
+    rt: RenderTarget,
+    textures: [Option<TextureDesc>; 4],
+}
+
+impl CycleCtx for GfxCtx<SharedMem> {
+    type Frozen<'s> = GfxFrozen<'s>;
+    type Core<'a> = GfxCtx<ImageView<'a>>;
+
+    fn freeze(&self) -> GfxFrozen<'_> {
+        GfxFrozen {
+            img: self.mem.read_guard(),
+            rt: self.rt,
+            textures: self.textures,
+        }
+    }
+
+    fn core<'a, 's: 'a>(frozen: &'a GfxFrozen<'s>, buf: &'a mut StoreBuffer) -> Self::Core<'a> {
+        GfxCtx {
+            mem: ImageView::new(&frozen.img, buf),
+            rt: frozen.rt,
+            textures: frozen.textures,
+            stats: GfxCtxStats::default(),
+        }
+    }
+
+    fn finish(core: GfxCtx<ImageView<'_>>) {
+        // Stash the per-core functional counters in the buffer's aux
+        // channel; commit() merges them by summation, which is invariant
+        // to how cores were sharded across threads.
+        let stats = core.stats;
+        let mut mem = core.mem;
+        mem.buf_mut().aux = [
+            stats.ztest_pass,
+            stats.ztest_fail,
+            stats.tex_samples,
+            stats.fb_writes,
+            0,
+            0,
+            0,
+            0,
+        ];
+    }
+
+    fn commit(&mut self, bufs: &mut [StoreBuffer]) {
+        for b in bufs.iter_mut() {
+            let aux = b.take_aux();
+            self.stats.ztest_pass += aux[0];
+            self.stats.ztest_fail += aux[1];
+            self.stats.tex_samples += aux[2];
+            self.stats.fb_writes += aux[3];
+        }
+        if bufs.iter().all(StoreBuffer::is_empty) {
+            return;
+        }
+        self.mem.write(|img| {
+            for b in bufs.iter_mut() {
+                b.drain(|class, addr, value| {
+                    debug_assert_eq!(class, WClass::Image, "graphics never uses scratch");
+                    img.write_u32(addr, value);
+                });
+            }
+        });
     }
 }
 

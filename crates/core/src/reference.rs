@@ -122,7 +122,7 @@ mod tests {
     use crate::state::VertexBuffer;
     use emerald_common::math::{Mat4, Vec3};
     use emerald_scene::mesh::unit_cube;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn draw_cube(mem: &SharedMem) -> DrawCall {
         let mvp = Mat4::perspective(60f32.to_radians(), 1.0, 0.1, 50.0).mul_mat4(&Mat4::look_at(
@@ -230,6 +230,6 @@ mod tests {
             assert_eq!(mem.read_f32(hw + 20), sw.attrs[1]);
             assert_eq!(mem.read_f32(hw + 24), sw.attrs[2]);
         }
-        let _ = Rc::strong_count(&dc.vs);
+        let _ = Arc::strong_count(&dc.vs);
     }
 }

@@ -15,7 +15,7 @@
 //! paper's programmable ROP design (§3.3.1 L-N).
 
 use emerald_isa::{assemble_named, Program};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Parameter/input slot assignments for the standard shaders.
 pub mod abi {
@@ -47,7 +47,7 @@ pub fn vs_params(vb_base: u64, ovb_base: u64, mvp: &[f32; 16]) -> Vec<u32> {
 /// The standard vertex shader: fetches position/normal/uv, transforms by
 /// the MVP, computes a clamped Lambertian diffuse term against a fixed
 /// directional light, and writes clip position + varyings to the OVB.
-pub fn vertex_transform() -> Rc<Program> {
+pub fn vertex_transform() -> Arc<Program> {
     let src = "
         // Vertex record address = vb_base + index * 32.
         mov.b32 r0, %input0
@@ -102,7 +102,7 @@ pub fn vertex_transform() -> Rc<Program> {
         st.global.b32 [r15+20], r9
         st.global.b32 [r15+24], r14
         exit";
-    Rc::new(assemble_named("vs_transform", src).expect("vertex shader assembles"))
+    Arc::new(assemble_named("vs_transform", src).expect("vertex shader assembles"))
 }
 
 /// Fragment shader feature selection (one compiled variant per draw state,
@@ -138,7 +138,7 @@ impl Default for FsOptions {
 }
 
 /// Builds a fragment shader variant per [`FsOptions`].
-pub fn fragment_shader(opts: FsOptions) -> Rc<Program> {
+pub fn fragment_shader(opts: FsOptions) -> Arc<Program> {
     let mut src = String::from("mov.b32 r0, %input2\n"); // depth
     let ztest = |s: &mut String| {
         if opts.depth_test {
@@ -198,7 +198,7 @@ pub fn fragment_shader(opts: FsOptions) -> Rc<Program> {
         if opts.depth_write { "w" } else { "" },
         if opts.blend { "_blend" } else { "" },
     );
-    Rc::new(assemble_named(&name, &src).expect("fragment shader assembles"))
+    Arc::new(assemble_named(&name, &src).expect("fragment shader assembles"))
 }
 
 #[cfg(test)]

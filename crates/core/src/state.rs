@@ -7,7 +7,7 @@ use emerald_isa::Program;
 use emerald_mem::image::SharedMem;
 use emerald_scene::mesh::Mesh;
 use emerald_scene::texture::TextureData;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Vertex record layout in memory: position (3×f32), normal (3×f32),
 /// uv (2×f32) — 32 bytes, interleaved.
@@ -183,9 +183,9 @@ pub struct DrawCall {
     /// Primitive topology.
     pub topology: Topology,
     /// Vertex shader.
-    pub vs: Rc<Program>,
+    pub vs: Arc<Program>,
     /// Fragment shader.
-    pub fs: Rc<Program>,
+    pub fs: Arc<Program>,
     /// Column-major model-view-projection matrix.
     pub mvp: [f32; 16],
     /// Depth testing enabled.
@@ -295,8 +295,8 @@ mod tests {
         let dc = DrawCall {
             vb,
             topology: Topology::TriangleStrip,
-            vs: Rc::new(emerald_isa::assemble("exit").unwrap()),
-            fs: Rc::new(emerald_isa::assemble("exit").unwrap()),
+            vs: Arc::new(emerald_isa::assemble("exit").unwrap()),
+            fs: Arc::new(emerald_isa::assemble("exit").unwrap()),
             mvp: [0.0; 16],
             depth_test: true,
             depth_write: true,

@@ -52,6 +52,11 @@ pub struct GpuConfig {
     pub icnt_latency: u64,
     /// Core↔L2 interconnect accepts this many messages per cycle.
     pub icnt_per_cycle: usize,
+    /// Host worker threads for the parallel core-execution phase; 1 runs
+    /// the phase on the calling thread. Results are bit-identical at any
+    /// value (see `Gpu::cycle`). Preset constructors seed this from the
+    /// `EMERALD_THREADS` environment variable.
+    pub threads: usize,
 }
 
 fn l1(name: &str, size: usize, ways: usize, policy: WritePolicy) -> CacheConfig {
@@ -68,6 +73,16 @@ fn l1(name: &str, size: usize, ways: usize, policy: WritePolicy) -> CacheConfig 
 }
 
 impl GpuConfig {
+    /// Worker-thread count from `EMERALD_THREADS` (clamped to ≥ 1);
+    /// defaults to 1 when unset or unparsable.
+    pub fn threads_from_env() -> usize {
+        std::env::var("EMERALD_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1)
+    }
+
     /// Case study I GPU (Table 5): 4 SIMT cores @128 CUDA cores, 16 KB L1D,
     /// 64 KB L1T, 32 KB L1Z, 128 KB shared L2.
     pub fn case_study_1() -> Self {
@@ -99,6 +114,7 @@ impl GpuConfig {
             l2_banks: 2,
             icnt_latency: 8,
             icnt_per_cycle: 8,
+            threads: Self::threads_from_env(),
         }
     }
 
@@ -134,6 +150,7 @@ impl GpuConfig {
             l2_banks: 4,
             icnt_latency: 8,
             icnt_per_cycle: 12,
+            threads: Self::threads_from_env(),
         }
     }
 

@@ -629,7 +629,7 @@ mod tests {
     use crate::ctx::GlobalMemCtx;
     use emerald_isa::{assemble, ThreadState};
     use emerald_mem::image::SharedMem;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn core() -> SimtCore {
         SimtCore::new(CoreId(0), &GpuConfig::tiny())
@@ -646,7 +646,7 @@ mod tests {
     }
 
     fn launch_simple(core: &mut SimtCore, src: &str, n_threads: usize) {
-        let p = Rc::new(assemble(src).unwrap());
+        let p = Arc::new(assemble(src).unwrap());
         let w = Warp::new(
             vec![ThreadState::new(); n_threads],
             p,
@@ -779,7 +779,7 @@ mod tests {
         let mut cfg = GpuConfig::tiny();
         cfg.regs_per_core = 64; // one warp with 2 regs = 64 register demand
         let mut c = SimtCore::new(CoreId(0), &cfg);
-        let p = Rc::new(assemble("mov.b32 r1, 0\nexit").unwrap());
+        let p = Arc::new(assemble("mov.b32 r1, 0\nexit").unwrap());
         let mk = || {
             Warp::new(
                 vec![ThreadState::new(); 32],

@@ -6,13 +6,24 @@ use crate::config::GpuConfig;
 use crate::core::{L1Miss, SimtCore};
 use crate::kernel::{Kernel, KernelState, INPUT_SHARED_BASE};
 use crate::l2::{L1Target, L2};
+use crate::phase::{CorePool, CycleCtx, SendPtr};
 use crate::warp::{Warp, WarpTag};
 use emerald_common::types::{AccessKind, Addr, CoreId, Cycle, TrafficSource};
-use emerald_isa::ExecCtx;
 use emerald_mem::link::Link;
 use emerald_mem::req::{MemRequest, MemResponse, ReqIdGen};
 use emerald_mem::system::MemorySystem;
-use std::collections::{HashMap, VecDeque};
+use emerald_mem::view::StoreBuffer;
+use std::collections::VecDeque;
+
+// The parallel phase hands `&mut SimtCore` / `&mut StoreBuffer` to worker
+// threads through raw pointers, which bypasses the usual auto-trait
+// checks; assert the types really are Send so a future `Rc`/`RefCell`
+// field cannot silently reintroduce unsoundness.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SimtCore>();
+    assert_send::<StoreBuffer>();
+};
 
 /// The GPU's connection to external memory (standalone DRAM or an SoC NoC).
 pub trait MemPort {
@@ -87,11 +98,24 @@ pub struct Gpu {
     /// retried before new traffic so none are ever lost.
     fill_backlog: VecDeque<(L1Target, Addr)>,
     to_mem: VecDeque<(Addr, AccessKind)>,
-    dram_pending: HashMap<u64, Addr>,
-    ids: ReqIdGen,
+    /// In-flight DRAM reads as a slab indexed by request id: free slots
+    /// recycle through `dram_free`, so the response path is an array index
+    /// instead of a hash probe and steady-state traffic never allocates.
+    dram_pending: Vec<Option<Addr>>,
+    dram_free: Vec<u64>,
+    dram_inflight: usize,
+    /// Ids for write requests only; writes are never matched against the
+    /// read slab (responses are filtered by kind), so collisions with slab
+    /// indices are harmless.
+    write_ids: ReqIdGen,
     kernels: Vec<KernelState>,
     cta_cursor: usize,
     finished_external: Vec<(CoreId, u64)>,
+    /// Per-core private store buffers for the bulk-synchronous core phase.
+    store_bufs: Vec<StoreBuffer>,
+    /// Persistent phase workers, built on the first cycle that wants
+    /// `cfg.threads > 1` parallelism.
+    pool: Option<CorePool>,
     stats: GpuStats,
 }
 
@@ -102,16 +126,23 @@ impl Gpu {
             .map(|i| SimtCore::new(CoreId(i), &cfg))
             .collect();
         let l2 = L2::new(&cfg.l2, cfg.l2_banks);
+        let num_cores = cfg.total_cores();
         Self {
             core_to_l2: Link::new(cfg.icnt_latency, cfg.icnt_per_cycle, 256),
             l2_to_core: Link::new(cfg.icnt_latency, cfg.icnt_per_cycle * 2, 512),
-            fill_backlog: VecDeque::new(),
-            to_mem: VecDeque::new(),
-            dram_pending: HashMap::new(),
-            ids: ReqIdGen::new(),
+            // Pre-sized to the link capacities they spill from, so the
+            // steady-state request path never reallocates.
+            fill_backlog: VecDeque::with_capacity(512),
+            to_mem: VecDeque::with_capacity(256),
+            dram_pending: Vec::with_capacity(cfg.l2.mshrs * cfg.l2_banks),
+            dram_free: Vec::with_capacity(cfg.l2.mshrs * cfg.l2_banks),
+            dram_inflight: 0,
+            write_ids: ReqIdGen::new(),
             kernels: Vec::new(),
             cta_cursor: 0,
             finished_external: Vec::new(),
+            store_bufs: (0..num_cores).map(|_| StoreBuffer::default()).collect(),
+            pool: None,
             stats: GpuStats::default(),
             cores,
             l2,
@@ -149,19 +180,24 @@ impl Gpu {
         &self.l2
     }
 
-    /// Aggregate statistics.
-    pub fn stats(&self) -> &GpuStats {
-        &self.stats
+    /// Aggregate statistics, assembled on demand: `issued` sums the
+    /// per-core counters (updated incrementally at issue time), so the
+    /// per-cycle loop never re-aggregates across cores.
+    pub fn stats(&self) -> GpuStats {
+        let mut s = self.stats.clone();
+        s.issued = self.cores.iter().map(|c| c.stats().issued).sum();
+        s
     }
 
     /// Publishes GPU aggregates under `{prefix}.*`, per-core instruments
     /// under `{prefix}.coreN.*`, a cross-core merge under
     /// `{prefix}.cores.*`, and the L2 under `{prefix}.l2.*`.
     pub fn publish(&self, reg: &mut emerald_obs::Registry, prefix: &str) {
-        reg.set_counter(format!("{prefix}.issued"), self.stats.issued);
-        reg.set_counter(format!("{prefix}.warps_retired"), self.stats.warps_retired);
-        reg.set_counter(format!("{prefix}.mem_reads"), self.stats.mem_reads);
-        reg.set_counter(format!("{prefix}.mem_writes"), self.stats.mem_writes);
+        let stats = self.stats();
+        reg.set_counter(format!("{prefix}.issued"), stats.issued);
+        reg.set_counter(format!("{prefix}.warps_retired"), stats.warps_retired);
+        reg.set_counter(format!("{prefix}.mem_reads"), stats.mem_reads);
+        reg.set_counter(format!("{prefix}.mem_writes"), stats.mem_writes);
         let mut merged = emerald_obs::Registry::new();
         for core in &self.cores {
             core.publish(reg, &format!("{prefix}.core{}", core.id.0));
@@ -209,7 +245,7 @@ impl Gpu {
             && self.l2_to_core.is_empty()
             && self.fill_backlog.is_empty()
             && self.to_mem.is_empty()
-            && self.dram_pending.is_empty()
+            && self.dram_inflight == 0
             && self.l2.queued() == 0
             && self.kernels.iter().all(|k| k.is_done())
     }
@@ -277,15 +313,63 @@ impl Gpu {
         let _ = INPUT_SHARED_BASE; // convention documented in kernel.rs
     }
 
+    /// Runs the parallel half of the bulk-synchronous core phase: every
+    /// core executes one cycle against the frozen `ctx` snapshot, storing
+    /// into its private buffer. Cores are sharded across the worker pool
+    /// when `cfg.threads > 1`; with one thread the same model runs on the
+    /// calling thread, so results never depend on the thread count.
+    fn core_phase<C: CycleCtx>(&mut self, now: Cycle, ctx: &C) {
+        let n = self.cores.len();
+        debug_assert_eq!(self.store_bufs.len(), n);
+        let threads = self.cfg.threads.clamp(1, n);
+        let frozen = ctx.freeze();
+        if threads == 1 {
+            for (core, buf) in self.cores.iter_mut().zip(self.store_bufs.iter_mut()) {
+                let mut cctx = C::core(&frozen, buf);
+                core.cycle(now, &mut cctx);
+                C::finish(cctx);
+            }
+            return;
+        }
+        if self.pool.as_ref().map(|p| p.threads()) != Some(threads) {
+            self.pool = Some(CorePool::new(threads));
+        }
+        let pool = self.pool.as_ref().expect("pool just built");
+        let cores = SendPtr(self.cores.as_mut_ptr());
+        let bufs = SendPtr(self.store_bufs.as_mut_ptr());
+        let chunk = n.div_ceil(threads);
+        let frozen = &frozen;
+        pool.run(&move |shard| {
+            let lo = shard * chunk;
+            let hi = ((shard + 1) * chunk).min(n);
+            for i in lo..hi {
+                // SAFETY: shards cover disjoint index ranges, so no two
+                // threads ever alias a core or buffer; `pool.run` joins
+                // all shards before the pointers' owner is touched again.
+                let core = unsafe { &mut *cores.add(i) };
+                let buf = unsafe { &mut *bufs.add(i) };
+                let mut cctx = C::core(frozen, buf);
+                core.cycle(now, &mut cctx);
+                C::finish(cctx);
+            }
+        });
+    }
+
     /// Advances the whole GPU one cycle.
-    pub fn cycle(&mut self, now: Cycle, ctx: &mut dyn ExecCtx, port: &mut dyn MemPort) {
+    ///
+    /// Core execution is bulk-synchronous: the parallel phase runs every
+    /// core against a read-only `ctx` snapshot with private store buffers,
+    /// then the commit phase drains those buffers — and everything after
+    /// it (misses, fills, finished warps) — in core-index order on the
+    /// calling thread. See `crate::phase` for why this is deterministic.
+    pub fn cycle<C: CycleCtx>(&mut self, now: Cycle, ctx: &mut C, port: &mut dyn MemPort) {
         port.tick(now);
         self.dispatch_ctas();
 
-        // 1. Cores execute.
-        for core in &mut self.cores {
-            core.cycle(now, ctx);
-        }
+        // 1. Cores execute (parallel phase), then their buffered stores
+        // are committed in core-index order.
+        self.core_phase(now, &*ctx);
+        ctx.commit(&mut self.store_bufs);
 
         // 2. Core misses → interconnect → L2 banks.
         for ci in 0..self.cores.len() {
@@ -321,9 +405,20 @@ impl Gpu {
             self.to_mem.push_back((line, kind));
         }
 
-        // 4. L2 ↔ DRAM.
+        // 4. L2 ↔ DRAM. Read ids are slab slots; write ids come from a
+        // plain counter and are never matched against the slab.
         while let Some((line, kind)) = self.to_mem.front().copied() {
-            let id = self.ids.next_id();
+            let id = if kind == AccessKind::Read {
+                match self.dram_free.pop() {
+                    Some(id) => id,
+                    None => {
+                        self.dram_pending.push(None);
+                        (self.dram_pending.len() - 1) as u64
+                    }
+                }
+            } else {
+                self.write_ids.next_id()
+            };
             let req = MemRequest {
                 id,
                 addr: line,
@@ -336,17 +431,32 @@ impl Gpu {
                 Ok(()) => {
                     self.to_mem.pop_front();
                     if kind == AccessKind::Read {
-                        self.dram_pending.insert(id, line);
+                        self.dram_pending[id as usize] = Some(line);
+                        self.dram_inflight += 1;
                         self.stats.mem_reads += 1;
                     } else {
                         self.stats.mem_writes += 1;
                     }
                 }
-                Err(_) => break,
+                Err(_) => {
+                    if kind == AccessKind::Read {
+                        self.dram_free.push(id);
+                    }
+                    break;
+                }
             }
         }
         while let Some(resp) = port.recv(now) {
-            if let Some(line) = self.dram_pending.remove(&resp.id) {
+            if resp.kind != AccessKind::Read {
+                continue; // write completions carry no fill data
+            }
+            let taken = self
+                .dram_pending
+                .get_mut(resp.id as usize)
+                .and_then(Option::take);
+            if let Some(line) = taken {
+                self.dram_free.push(resp.id);
+                self.dram_inflight -= 1;
                 for (target, l) in self.l2.fill(line) {
                     if let Err(back) = self.l2_to_core.push(now, (target, l)) {
                         self.fill_backlog.push_back(back);
@@ -374,7 +484,6 @@ impl Gpu {
                 }
             }
         }
-        self.stats.issued = self.cores.iter().map(|c| c.stats().issued).sum();
     }
 
     /// One-line internal state summary (diagnostics).
@@ -385,7 +494,7 @@ impl Gpu {
             self.l2_to_core.len(),
             self.fill_backlog.len(),
             self.to_mem.len(),
-            self.dram_pending.len(),
+            self.dram_inflight,
             self.l2.queued(),
             self.cores[0].debug_snapshot(),
             self.cores[2].debug_snapshot(),
@@ -398,11 +507,11 @@ impl Gpu {
     ///
     /// Panics if the GPU fails to drain within `max_cycles` (a deadlock in
     /// the model, which tests should catch loudly).
-    pub fn run_to_idle(
+    pub fn run_to_idle<C: CycleCtx>(
         &mut self,
         start: Cycle,
         max_cycles: Cycle,
-        ctx: &mut dyn ExecCtx,
+        ctx: &mut C,
         port: &mut dyn MemPort,
     ) -> Cycle {
         let mut now = start;
@@ -426,7 +535,7 @@ mod tests {
     use emerald_mem::dram::DramConfig;
     use emerald_mem::image::SharedMem;
     use emerald_mem::system::MemorySystemConfig;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn setup() -> (Gpu, GlobalMemCtx, SimpleMemPort) {
         let gpu = Gpu::new(GpuConfig::tiny());
@@ -461,7 +570,7 @@ mod tests {
             mad.f32 r7, r6, r4, r5
             st.global.b32 [r3+0], r7
             exit";
-        let prog = Rc::new(assemble(src).unwrap());
+        let prog = Arc::new(assemble(src).unwrap());
         let k = Kernel::linear(
             prog,
             n,
@@ -497,7 +606,7 @@ mod tests {
             add.u32 r5, r5, %param1
             st.global.b32 [r5+0], r3
             exit";
-        let prog = Rc::new(assemble(src).unwrap());
+        let prog = Arc::new(assemble(src).unwrap());
         let out = ctx.mem().alloc(4096, 128);
         let k = Kernel::linear(prog, 128, 128, vec![buf as u32, out as u32]);
         gpu.launch_kernel(k);
@@ -511,7 +620,7 @@ mod tests {
     fn multiple_ctas_spread_across_cores() {
         let (mut gpu, mut ctx, mut port) = setup();
         let src = "mov.b32 r0, %input0\nexit";
-        let prog = Rc::new(assemble(src).unwrap());
+        let prog = Arc::new(assemble(src).unwrap());
         let k = Kernel::linear(prog, 512, 64, vec![]);
         gpu.launch_kernel(k);
         gpu.run_to_idle(0, 1_000_000, &mut ctx, &mut port);
@@ -526,7 +635,7 @@ mod tests {
     #[test]
     fn external_warp_completion_is_reported() {
         let (mut gpu, mut ctx, mut port) = setup();
-        let prog = Rc::new(assemble("mov.b32 r0, %laneid\nexit").unwrap());
+        let prog = Arc::new(assemble("mov.b32 r0, %laneid\nexit").unwrap());
         let w = Warp::new(
             vec![emerald_isa::ThreadState::new(); 32],
             prog,
@@ -552,7 +661,7 @@ mod tests {
             add.u32 r1, r1, %param0
             ld.global.b32 r2, [r1+0]
             exit";
-        let prog = Rc::new(assemble(src).unwrap());
+        let prog = Arc::new(assemble(src).unwrap());
         let base = ctx.mem().alloc(4096, 128);
         let k1 = Kernel::linear(prog.clone(), 256, 64, vec![base as u32]);
         gpu.launch_kernel(k1);

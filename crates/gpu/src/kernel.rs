@@ -3,13 +3,13 @@
 
 use emerald_isa::reg::input;
 use emerald_isa::{Program, ThreadState};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A compute kernel launch description.
 #[derive(Debug, Clone)]
 pub struct Kernel {
     /// The kernel program.
-    pub program: Rc<Program>,
+    pub program: Arc<Program>,
     /// Number of CTAs in the (1D) grid.
     pub grid_ctas: usize,
     /// Threads per CTA (rounded up to whole warps at dispatch).
@@ -30,7 +30,12 @@ impl Kernel {
     /// # Panics
     ///
     /// Panics if `cta_size == 0` or `cta_size > 1024`.
-    pub fn linear(program: Rc<Program>, threads: usize, cta_size: usize, params: Vec<u32>) -> Self {
+    pub fn linear(
+        program: Arc<Program>,
+        threads: usize,
+        cta_size: usize,
+        params: Vec<u32>,
+    ) -> Self {
         assert!(cta_size > 0 && cta_size <= 1024);
         Self {
             program,
@@ -113,8 +118,8 @@ mod tests {
     use super::*;
     use emerald_isa::assemble;
 
-    fn prog() -> Rc<Program> {
-        Rc::new(assemble("mov.b32 r0, %input0\nexit").unwrap())
+    fn prog() -> Arc<Program> {
+        Arc::new(assemble("mov.b32 r0, %input0\nexit").unwrap())
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   barriers, shared memory) — the GPGPU half of the unified model.
 //! * [`ctx`] — a global-memory [`ExecCtx`](emerald_isa::ExecCtx) for
 //!   compute workloads.
+//! * [`phase`] — the bulk-synchronous cycle model: the [`CycleCtx`]
+//!   freeze/execute/commit contract and the persistent
+//!   [`phase::CorePool`] that shards cores across worker threads with
+//!   bit-identical results at any thread count.
 //!
 //! Graphics fixed-function stages (rasterizer, VPO, tile coalescer…) live
 //! in `emerald-core`, which owns a [`gpu::Gpu`] and injects vertex and
@@ -32,6 +36,7 @@ pub mod ctx;
 pub mod gpu;
 pub mod kernel;
 pub mod l2;
+pub mod phase;
 pub mod simt;
 pub mod warp;
 
@@ -39,4 +44,5 @@ pub use config::GpuConfig;
 pub use ctx::GlobalMemCtx;
 pub use gpu::{Gpu, MemPort, SimpleMemPort};
 pub use kernel::Kernel;
+pub use phase::CycleCtx;
 pub use warp::{Warp, WarpTag};

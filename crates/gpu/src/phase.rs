@@ -1,0 +1,316 @@
+//! The bulk-synchronous core-execution phase.
+//!
+//! `Gpu::cycle` advances all SIMT cores with a two-phase protocol that
+//! makes results independent of how cores are sharded across host threads:
+//!
+//! 1. **Parallel phase** — the execution context is *frozen* (the shared
+//!    memory image is read-locked, mutable side state is snapshotted) and
+//!    every core executes one cycle against that frozen view. Stores land
+//!    in the core's private [`StoreBuffer`]; loads consult the buffer first
+//!    so a core always reads its own writes.
+//! 2. **Commit phase** — on the calling thread, store buffers are drained
+//!    into the live context in core-index order, so the merged memory state
+//!    is a pure function of per-core execution, never of thread timing.
+//!
+//! [`CycleCtx`] is the contract an execution context implements to take
+//! part in this protocol; [`CorePool`] is the persistent worker pool that
+//! runs the parallel phase (spawning threads per cycle would dominate the
+//! runtime — a simulation runs millions of cycles).
+
+use emerald_isa::exec::NullCtx;
+use emerald_isa::ExecCtx;
+use emerald_mem::view::StoreBuffer;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// An execution context that can split itself into a frozen, thread-shared
+/// view plus per-core contexts for the parallel phase, then merge the
+/// per-core store buffers back in a deterministic order.
+pub trait CycleCtx {
+    /// The frozen, immutable snapshot shared by all worker threads for one
+    /// cycle (typically holds a read guard on the memory image).
+    type Frozen<'s>: Sync
+    where
+        Self: 's;
+
+    /// The per-core context handed to `SimtCore::cycle`; borrows the
+    /// frozen snapshot and one core's private store buffer.
+    type Core<'a>: ExecCtx
+    where
+        Self: 'a;
+
+    /// Freezes the context for a parallel phase. While the returned
+    /// snapshot lives, the live context must not be mutated.
+    fn freeze(&self) -> Self::Frozen<'_>;
+
+    /// Builds the context for one core over the frozen snapshot.
+    fn core<'a, 's: 'a>(frozen: &'a Self::Frozen<'s>, buf: &'a mut StoreBuffer) -> Self::Core<'a>
+    where
+        Self: 's;
+
+    /// Tears down a per-core context after the core's cycle, flushing any
+    /// per-core counters into its store buffer's `aux` channel.
+    fn finish(core: Self::Core<'_>);
+
+    /// Drains every core's store buffer into the live context, in
+    /// core-index (slice) order. Runs on the calling thread after all
+    /// workers have joined the phase barrier.
+    fn commit(&mut self, bufs: &mut [StoreBuffer]);
+}
+
+/// The no-op context participates trivially (nothing to freeze or commit).
+impl CycleCtx for NullCtx {
+    type Frozen<'s> = ();
+    type Core<'a> = NullCtx;
+
+    fn freeze(&self) -> Self::Frozen<'_> {}
+
+    fn core<'a, 's: 'a>(_frozen: &'a (), _buf: &'a mut StoreBuffer) -> NullCtx {
+        NullCtx
+    }
+
+    fn finish(_core: NullCtx) {}
+
+    fn commit(&mut self, _bufs: &mut [StoreBuffer]) {}
+}
+
+/// Type-erased task: runs one worker's shard of the parallel phase.
+type Task<'a> = &'a (dyn Fn(usize) + Sync);
+
+struct PoolShared {
+    /// The current task; valid only between a generation bump and the
+    /// matching `done` count, which is exactly when workers read it.
+    task: std::cell::UnsafeCell<Option<Task<'static>>>,
+    /// Bumped once per dispatched phase; workers wait for it to change.
+    generation: AtomicU64,
+    /// Workers that finished the current phase.
+    done: AtomicUsize,
+    /// A worker panicked during the phase.
+    poisoned: AtomicBool,
+    shutdown: AtomicBool,
+    /// Blocking fallback for workers that spun too long without work.
+    gate: Mutex<()>,
+    cv: Condvar,
+}
+
+// SAFETY: `task` is only written by the dispatching thread before the
+// Release generation bump and only read by workers after the matching
+// Acquire load; the dispatcher does not touch it again until every worker
+// has counted itself into `done`.
+unsafe impl Sync for PoolShared {}
+
+/// A persistent pool of phase workers. The calling thread participates as
+/// shard 0, so a pool built for `threads` parallelism spawns `threads - 1`
+/// OS threads. Workers spin briefly waiting for the next phase (cycles are
+/// microseconds apart when the simulator is busy), then block on a condvar.
+pub(crate) struct CorePool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for CorePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CorePool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl CorePool {
+    /// Builds a pool providing `threads`-way parallelism (spawns
+    /// `threads - 1` workers; the caller is the remaining shard).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 2, "a pool below 2-way parallelism is pointless");
+        let shared = Arc::new(PoolShared {
+            task: std::cell::UnsafeCell::new(None),
+            generation: AtomicU64::new(0),
+            done: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("emerald-core-{shard}"))
+                    .spawn(move || worker_loop(&shared, shard))
+                    .expect("spawn phase worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Parallelism (worker count + 1 for the caller).
+    pub fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs `task(shard)` for every shard in `0..threads()`, shard 0 on
+    /// the calling thread, and returns once all shards completed.
+    ///
+    /// # Panics
+    ///
+    /// Propagates (as a panic) any panic raised inside a worker's shard.
+    pub fn run(&self, task: &(dyn Fn(usize) + Sync)) {
+        let shared = &*self.shared;
+        // SAFETY: lifetime erasure is sound because this function does not
+        // return until every worker has finished running `task`.
+        unsafe {
+            *shared.task.get() = Some(std::mem::transmute::<Task<'_>, Task<'static>>(task));
+        }
+        shared.done.store(0, Ordering::Release);
+        shared.generation.fetch_add(1, Ordering::Release);
+        {
+            let _g = shared.gate.lock().unwrap();
+            self.shared.cv.notify_all();
+        }
+        task(0);
+        while shared.done.load(Ordering::Acquire) < self.workers.len() {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        unsafe {
+            *shared.task.get() = None;
+        }
+        assert!(
+            !shared.poisoned.swap(false, Ordering::Relaxed),
+            "a phase worker panicked"
+        );
+    }
+}
+
+impl Drop for CorePool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.gate.lock().unwrap();
+            self.shared.cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, shard: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Wait for the next generation: spin, then yield, then block.
+        let mut spins = 0u32;
+        loop {
+            let g = shared.generation.load(Ordering::Acquire);
+            if g != seen {
+                seen = g;
+                break;
+            }
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else if spins < 512 {
+                std::thread::yield_now();
+            } else {
+                let guard = shared.gate.lock().unwrap();
+                if shared.generation.load(Ordering::Acquire) == seen
+                    && !shared.shutdown.load(Ordering::Acquire)
+                {
+                    // Timed wait so a lost notification can never wedge
+                    // the pool; the re-check above closes the usual race.
+                    let _ = shared.cv.wait_timeout(guard, Duration::from_millis(20));
+                }
+                spins = 0;
+            }
+        }
+        let task = unsafe { (*shared.task.get()).expect("task set before generation bump") };
+        if catch_unwind(AssertUnwindSafe(|| task(shard))).is_err() {
+            shared.poisoned.store(true, Ordering::Relaxed);
+        }
+        shared.done.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Sends a raw pointer across the phase barrier. Each shard dereferences a
+/// disjoint range of the underlying slice, so aliasing never occurs.
+pub(crate) struct SendPtr<T>(pub *mut T);
+
+// Manual impls: the derive would wrongly require `T: Copy`.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Pointer to element `i` of the underlying slice. Taking `self` by
+    /// value also makes closures capture the whole (Send + Sync) wrapper
+    /// rather than the raw pointer field.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds of the allocation the pointer came from.
+    pub(crate) unsafe fn add(self, i: usize) -> *mut T {
+        unsafe { self.0.add(i) }
+    }
+}
+
+// SAFETY: see type docs — shards touch disjoint elements only.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn pool_runs_every_shard_exactly_once() {
+        let pool = CorePool::new(4);
+        let hits: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
+        for _ in 0..100 {
+            pool.run(&|shard| {
+                hits[shard].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 100, "shard {i}");
+        }
+    }
+
+    #[test]
+    fn pool_shards_work_disjointly() {
+        let pool = CorePool::new(3);
+        let mut data = vec![0u64; 12];
+        let chunk = data.len().div_ceil(pool.threads());
+        let ptr = SendPtr(data.as_mut_ptr());
+        let n = data.len();
+        pool.run(&move |shard| {
+            let lo = shard * chunk;
+            let hi = ((shard + 1) * chunk).min(n);
+            for i in lo..hi {
+                unsafe { *ptr.add(i) = (i * i) as u64 };
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "phase worker panicked")]
+    fn worker_panic_propagates() {
+        let pool = CorePool::new(2);
+        pool.run(&|shard| {
+            if shard == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

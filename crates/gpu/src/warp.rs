@@ -3,7 +3,7 @@
 use crate::simt::SimtStack;
 use emerald_isa::{Program, ThreadState};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Identifies what a finished warp belonged to, so the launcher (compute
 /// dispatcher or graphics pipeline) can account completion.
@@ -29,9 +29,10 @@ pub struct Warp {
     /// Reconvergence stack.
     pub stack: SimtStack,
     /// The shader/kernel this warp runs.
-    pub program: Rc<Program>,
-    /// Uniform launch parameters.
-    pub params: Vec<u32>,
+    pub program: Arc<Program>,
+    /// Uniform launch parameters (shared: cloning per issue is a refcount
+    /// bump, not a heap allocation).
+    pub params: Arc<[u32]>,
     /// Owner bookkeeping tag.
     pub tag: WarpTag,
     /// Registers with in-flight writes → number of outstanding producers.
@@ -54,7 +55,7 @@ impl Warp {
     /// Creates a warp whose lanes `0..threads.len()` are active.
     pub fn new(
         threads: Vec<ThreadState>,
-        program: Rc<Program>,
+        program: Arc<Program>,
         params: Vec<u32>,
         tag: WarpTag,
     ) -> Self {
@@ -68,7 +69,7 @@ impl Warp {
             threads,
             stack: SimtStack::new(mask),
             program,
-            params,
+            params: params.into(),
             tag,
             pending_regs: HashMap::new(),
             outstanding_mem: 0,
@@ -132,7 +133,7 @@ mod tests {
     fn warp(src: &str) -> Warp {
         Warp::new(
             vec![ThreadState::new(); 4],
-            Rc::new(assemble(src).unwrap()),
+            Arc::new(assemble(src).unwrap()),
             vec![],
             WarpTag::External(0),
         )
@@ -144,7 +145,7 @@ mod tests {
         assert_eq!(w.stack.active_mask(), 0xf);
         let full = Warp::new(
             vec![ThreadState::new(); 32],
-            Rc::new(assemble("exit").unwrap()),
+            Arc::new(assemble("exit").unwrap()),
             vec![],
             WarpTag::External(1),
         );
@@ -190,7 +191,7 @@ mod tests {
     fn oversized_warp_rejected() {
         let _ = Warp::new(
             vec![ThreadState::new(); 33],
-            Rc::new(assemble("exit").unwrap()),
+            Arc::new(assemble("exit").unwrap()),
             vec![],
             WarpTag::External(0),
         );

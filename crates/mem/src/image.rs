@@ -7,8 +7,7 @@
 //! while the timing half replays the same addresses through caches and DRAM.
 
 use emerald_common::types::Addr;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 /// Simulated physical memory with a bump allocator.
 #[derive(Debug, Clone)]
@@ -107,16 +106,24 @@ impl MemImage {
 }
 
 /// Shared handle to a [`MemImage`], cloned by every component that needs
-/// functional memory access. The simulator is single-threaded by design
-/// (cycle-accurate models are inherently sequential), so `Rc<RefCell<…>>`
-/// is the right tool.
+/// functional memory access.
+///
+/// The handle is `Arc<RwLock<…>>` so that the bulk-synchronous parallel
+/// core phase (see `emerald-gpu`) can hold one read guard per simulated
+/// cycle while worker threads execute against the frozen image. All
+/// sequential host code keeps using the closure API below, which takes and
+/// releases the lock per call — uncontended, that is a few nanoseconds.
 #[derive(Debug, Clone)]
-pub struct SharedMem(Rc<RefCell<MemImage>>);
+pub struct SharedMem(Arc<RwLock<MemImage>>);
+
+/// A read guard over the shared image, held for the duration of one
+/// parallel core-execution phase. Derefs to [`MemImage`].
+pub type MemReadGuard<'a> = RwLockReadGuard<'a, MemImage>;
 
 impl SharedMem {
     /// Wraps an image in a shared handle.
     pub fn new(image: MemImage) -> Self {
-        Self(Rc::new(RefCell::new(image)))
+        Self(Arc::new(RwLock::new(image)))
     }
 
     /// Creates a shared image of `capacity` bytes.
@@ -126,12 +133,20 @@ impl SharedMem {
 
     /// Runs `f` with immutable access to the image.
     pub fn read<R>(&self, f: impl FnOnce(&MemImage) -> R) -> R {
-        f(&self.0.borrow())
+        f(&self.0.read().unwrap())
     }
 
     /// Runs `f` with mutable access to the image.
     pub fn write<R>(&self, f: impl FnOnce(&mut MemImage) -> R) -> R {
-        f(&mut self.0.borrow_mut())
+        f(&mut self.0.write().unwrap())
+    }
+
+    /// Acquires a read guard that freezes the image for a whole parallel
+    /// phase. While the guard lives, `write`/`alloc`/`write_u32`/… on any
+    /// clone of this handle will block — callers must drop the guard
+    /// before the commit phase.
+    pub fn read_guard(&self) -> MemReadGuard<'_> {
+        self.0.read().unwrap()
     }
 
     /// Convenience: allocates from the shared image.

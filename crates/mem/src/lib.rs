@@ -20,6 +20,8 @@
 //! * [`system`] — the memory system façade: channel steering (interleaved
 //!   vs. HMC source-partitioned), per-channel schedulers, statistics.
 //! * [`link`] — fixed-latency, bounded-bandwidth links (NoC edges).
+//! * [`view`] — frozen-image views and per-core store buffers for the
+//!   bulk-synchronous parallel core phase.
 //!
 //! [`TrafficSource`]: emerald_common::types::TrafficSource
 
@@ -34,11 +36,13 @@ pub mod mapping;
 pub mod req;
 pub mod sched;
 pub mod system;
+pub mod view;
 
 pub use cache::{Cache, CacheConfig};
 pub use dram::{DramChannel, DramConfig};
-pub use image::{MemImage, SharedMem};
+pub use image::{MemImage, MemReadGuard, SharedMem};
 pub use link::Link;
 pub use mapping::{AddressMapping, MappingScheme};
 pub use req::{MemRequest, MemResponse, ReqId};
 pub use system::{MemorySystem, MemorySystemConfig, Steering};
+pub use view::{FuncMem, ImageView, StoreBuffer, WClass};

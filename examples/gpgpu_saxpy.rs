@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example gpgpu_saxpy`
 
 use emerald::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     let mem = SharedMem::with_capacity(1 << 24);
@@ -25,7 +25,7 @@ fn main() {
         mem.write_f32(y + (i * 4) as u64, 10.0);
     }
 
-    let saxpy = Rc::new(
+    let saxpy = Arc::new(
         assemble(
             "
             mov.b32 r0, %input0      // global thread id

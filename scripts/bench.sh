@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Reproducible benchmark harness: builds the release binary and runs the
+# canonical render / GPGPU / SoC-frame workloads at 1..N worker threads,
+# writing BENCH_frame.json at the repo root.
+#
+# Usage:
+#   scripts/bench.sh            # full run (threads 1, 2, 4)
+#   scripts/bench.sh --smoke    # small workloads, threads 1, 2 (CI smoke)
+#   scripts/bench.sh --out F    # write JSON to F instead
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --bin emerald_bench
+exec ./target/release/emerald_bench "$@"

@@ -19,7 +19,18 @@ cargo build --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> determinism suite at EMERALD_THREADS=4"
+EMERALD_THREADS=4 cargo test --release --test determinism -q
+
 echo "==> examples smoke test"
 cargo run --release --example trace_export >/dev/null
+
+echo "==> bench smoke (BENCH_frame.json emitted and well-formed)"
+./scripts/bench.sh --smoke >/dev/null 2>&1
+test -s BENCH_frame.json
+grep -q '"schema": "emerald-bench-v1"' BENCH_frame.json
+grep -q '"wall_ms"' BENCH_frame.json
+grep -q '"cycles_per_sec"' BENCH_frame.json
+grep -q '"speedup_vs_1t"' BENCH_frame.json
 
 echo "CI gate passed."

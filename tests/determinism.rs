@@ -5,16 +5,17 @@
 use emerald::core::session::SceneBinding;
 use emerald::prelude::*;
 
-fn render_once() -> (u64, Vec<u32>, u64) {
+/// Renders one canonical frame with the given worker-thread count and
+/// returns everything a determinism check cares about: cycle count,
+/// framebuffer contents, instruction count, retired warps, and the full
+/// stats-registry snapshot as JSON.
+fn render_with_threads(threads: usize) -> (u64, Vec<u32>, u64, u64, String) {
     let mem = SharedMem::with_capacity(1 << 26);
     let rt = RenderTarget::alloc(&mem, 64, 48);
     rt.clear(&mem, [0.0; 4], 1.0);
-    let mut r = GpuRenderer::new(
-        GpuConfig::tiny(),
-        GfxConfig::case_study_2(),
-        mem.clone(),
-        rt,
-    );
+    let mut cfg = GpuConfig::tiny();
+    cfg.threads = threads;
+    let mut r = GpuRenderer::new(cfg, GfxConfig::case_study_2(), mem.clone(), rt);
     let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
         2,
         DramConfig::lpddr3_1600(),
@@ -23,7 +24,24 @@ fn render_once() -> (u64, Vec<u32>, u64) {
     let binding = SceneBinding::new(&mem, &wl);
     r.draw(binding.draw_for_frame(0, 64.0 / 48.0, false));
     let s = r.run_frame(&mut port, 100_000_000);
-    (s.cycles, rt.read_color(&mem), s.instructions)
+    let mut reg = emerald::obs::Registry::new();
+    r.publish(&mut reg, "render");
+    let retired = reg
+        .get("render.gpu.warps_retired")
+        .map(|v| v.scalar() as u64)
+        .unwrap_or(0);
+    (
+        s.cycles,
+        rt.read_color(&mem),
+        s.instructions,
+        retired,
+        reg.to_json(),
+    )
+}
+
+fn render_once() -> (u64, Vec<u32>, u64) {
+    let (cycles, img, instructions, _, _) = render_with_threads(1);
+    (cycles, img, instructions)
 }
 
 #[test]
@@ -33,6 +51,24 @@ fn standalone_render_is_bit_reproducible() {
     assert_eq!(c1, c2, "cycle counts differ");
     assert_eq!(i1, i2, "instruction counts differ");
     assert_eq!(img1, img2, "images differ");
+}
+
+/// The tentpole property of the bulk-synchronous cycle model: sharding
+/// cores across worker threads must not change a single bit — the
+/// framebuffer, warp accounting and the whole registry snapshot are
+/// identical at 1, 2 and 4 threads.
+#[test]
+fn render_is_identical_across_thread_counts() {
+    let (c1, img1, i1, w1, reg1) = render_with_threads(1);
+    assert!(w1 > 0, "reference run retired no warps");
+    for threads in [2usize, 4] {
+        let (c, img, i, w, reg) = render_with_threads(threads);
+        assert_eq!(c1, c, "cycle count differs at {threads} threads");
+        assert_eq!(i1, i, "instruction count differs at {threads} threads");
+        assert_eq!(w1, w, "retired warps differ at {threads} threads");
+        assert_eq!(img1, img, "framebuffer differs at {threads} threads");
+        assert_eq!(reg1, reg, "registry snapshot differs at {threads} threads");
+    }
 }
 
 #[test]

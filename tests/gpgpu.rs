@@ -3,7 +3,7 @@
 
 use emerald::gpu::GlobalMemCtx;
 use emerald::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn setup() -> (Gpu, GlobalMemCtx, SimpleMemPort, SharedMem) {
     let mem = SharedMem::with_capacity(1 << 24);
@@ -41,7 +41,7 @@ fn vector_scale_with_divergent_clamp() {
         JOIN:
         st.global.b32 [r1+0], r3
         exit";
-    let k = Kernel::linear(Rc::new(assemble(src).unwrap()), n, 64, vec![buf as u32]);
+    let k = Kernel::linear(Arc::new(assemble(src).unwrap()), n, 64, vec![buf as u32]);
     gpu.launch_kernel(k);
     gpu.run_to_idle(0, 5_000_000, &mut ctx, &mut port);
     for i in 0..n {
@@ -97,7 +97,7 @@ fn block_reduction_with_shared_memory_and_barriers() {
         @p2 st.global.b32 [r9+0], r10
         exit";
     let mut k = Kernel::linear(
-        Rc::new(assemble(src).unwrap()),
+        Arc::new(assemble(src).unwrap()),
         n,
         64,
         vec![input as u32, out as u32],
@@ -131,7 +131,7 @@ fn graphics_and_compute_share_the_same_cores() {
 
     let buf = mem.alloc(1024, 128);
     let k = Kernel::linear(
-        Rc::new(
+        Arc::new(
             assemble(
                 "mov.b32 r0, %input0\nshl.u32 r1, r0, 2\nadd.u32 r1, r1, %param0\nst.global.b32 [r1+0], r0\nexit",
             )
