@@ -13,6 +13,9 @@
 //! * [`fifo`] — bounded queues, the basic plumbing of the timing model.
 //! * [`check`] — a tiny deterministic property-test harness, so randomized
 //!   tests need no external crates (the build must work offline).
+//! * [`json`] — a strict RFC 8259 parser used by schema tests to validate
+//!   the serde-free JSON writers (registry dump, Chrome trace, bench
+//!   report).
 //!
 //! # Example
 //!
@@ -28,6 +31,7 @@
 
 pub mod check;
 pub mod fifo;
+pub mod json;
 pub mod math;
 pub mod rng;
 pub mod stats;

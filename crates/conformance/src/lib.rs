@@ -1,0 +1,43 @@
+//! # emerald-conformance
+//!
+//! Differential fuzzing of the Emerald timing model against bit-identical
+//! references:
+//!
+//! - [`proggen`] generates seeded random, schedule-independent ISA
+//!   programs (straight-line compute, divergent branches, shared-memory
+//!   exchange across a barrier, global loads/stores).
+//! - [`refmodel`] walks those programs through `emerald_isa::execute`
+//!   with an independently implemented IPDOM stack and no timing model;
+//!   registers (as an epilogue checksum), the output memory image and
+//!   retired-instruction counts must match the pipeline bit for bit.
+//! - [`isadiff`] runs the differential comparison, the metamorphic
+//!   configuration matrix (host threads, warp scheduler, cache sizes)
+//!   and the injected-ALU-bug canary.
+//! - [`drawgen`] generates random draw calls / render state and diffs
+//!   hardware frames pixel-exact against `emerald_core::reference`.
+//!
+//! Failures replay from a single case seed (see
+//! `emerald_common::check`) and are shrunk with
+//! `emerald_common::check::minimize` before being reported.
+
+#![warn(missing_docs)]
+
+pub mod drawgen;
+pub mod isadiff;
+pub mod proggen;
+pub mod refmodel;
+
+pub use drawgen::{gen_draw, run_draw_case, shrink_draw_candidates, DrawCase};
+pub use isadiff::{
+    base_config, bug_site, check_case, check_case_matrix, check_with_injected_bug, config_matrix,
+    mutate_at, run_ref, run_timing, Divergence, RunResult,
+};
+pub use proggen::{gen_program, shrink_candidates, GenProgram};
+pub use refmodel::{run_reference, RefResult};
+
+/// Number of random ISA programs / draws the conformance tests run,
+/// overridable via `EMERALD_CONF_CASES` (CI runs 32 per push and 512 in
+/// the scheduled deep job).
+pub fn conf_cases() -> u32 {
+    emerald_common::check::env_cases("EMERALD_CONF_CASES", 32)
+}

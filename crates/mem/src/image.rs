@@ -103,6 +103,36 @@ impl MemImage {
         let end = (i + len).min(self.data.len());
         &self.data[i..end]
     }
+
+    /// Compares `len` bytes at `base` against the same range of `other`,
+    /// returning at most `max` mismatches as `(addr, self_byte,
+    /// other_byte)`. A differential-testing hook: the conformance suite
+    /// diffs the timing model's memory image against the reference walk's
+    /// and wants the first divergent addresses, not a bool.
+    pub fn diff_region(
+        &self,
+        other: &MemImage,
+        base: Addr,
+        len: usize,
+        max: usize,
+    ) -> Vec<(Addr, u8, u8)> {
+        let a = self.read_bytes(base, len);
+        let b = other.read_bytes(base, len);
+        let mut out = Vec::new();
+        for i in 0..a.len().max(b.len()) {
+            if out.len() >= max {
+                break;
+            }
+            let (x, y) = (
+                a.get(i).copied().unwrap_or(0),
+                b.get(i).copied().unwrap_or(0),
+            );
+            if x != y {
+                out.push((base + i as Addr, x, y));
+            }
+        }
+        out
+    }
 }
 
 /// Shared handle to a [`MemImage`], cloned by every component that needs
@@ -169,6 +199,18 @@ impl SharedMem {
         self.read(|m| m.read_f32(addr))
     }
 
+    /// Convenience: diffs a byte range against another image (see
+    /// [`MemImage::diff_region`]).
+    pub fn diff_region(
+        &self,
+        other: &SharedMem,
+        base: Addr,
+        len: usize,
+        max: usize,
+    ) -> Vec<(Addr, u8, u8)> {
+        self.read(|a| other.read(|b| a.diff_region(b, base, len, max)))
+    }
+
     /// Convenience: writes an `f32`.
     pub fn write_f32(&self, addr: Addr, value: f32) {
         self.write(|m| m.write_f32(addr, value));
@@ -214,6 +256,26 @@ mod tests {
         // Clipped at capacity.
         m.write_bytes(14, &[9, 9, 9]);
         assert_eq!(m.read_bytes(14, 10), &[9, 9]);
+    }
+
+    #[test]
+    fn diff_region_finds_and_caps_mismatches() {
+        let mut a = MemImage::new(64);
+        let mut b = MemImage::new(64);
+        a.write_bytes(8, &[1, 2, 3, 4]);
+        b.write_bytes(8, &[1, 9, 3, 7]);
+        assert_eq!(a.diff_region(&b, 8, 4, 16), vec![(9, 2, 9), (11, 4, 7)]);
+        assert_eq!(a.diff_region(&b, 8, 4, 1), vec![(9, 2, 9)]);
+        assert!(a.diff_region(&b, 0, 8, 16).is_empty());
+        // Ranges past one image's capacity compare against implicit zeros.
+        let c = MemImage::new(16);
+        let mut d = MemImage::new(32);
+        d.write_bytes(20, &[5]);
+        assert_eq!(c.diff_region(&d, 16, 8, 16), vec![(20, 0, 5)]);
+        // SharedMem wrapper delegates.
+        let sa = SharedMem::new(a);
+        let sb = SharedMem::new(b);
+        assert_eq!(sa.diff_region(&sb, 8, 4, 1), vec![(9, 2, 9)]);
     }
 
     #[test]

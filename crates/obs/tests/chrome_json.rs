@@ -3,235 +3,10 @@
 //! the registry's hierarchical dump must parse for arbitrary inputs.
 
 use emerald_common::check::{check, check_n};
+use emerald_common::json::Json;
 use emerald_common::rng::Xorshift64;
 use emerald_common::stats::{Histogram, Ratio, Summary};
 use emerald_obs::{trace, Registry, TraceCat, TraceEvent};
-
-// ---------------------------------------------------------------------------
-// A minimal strict JSON parser (tests only — the crate itself stays
-// writer-only). Accepts exactly RFC 8259 documents.
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(a) => Some(a),
-            _ => None,
-        }
-    }
-
-    fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    s: &'a [u8],
-    i: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn parse(text: &'a str) -> Result<Json, String> {
-        let mut p = Parser {
-            s: text.as_bytes(),
-            i: 0,
-        };
-        p.ws();
-        let v = p.value()?;
-        p.ws();
-        if p.i != p.s.len() {
-            return Err(format!("trailing garbage at byte {}", p.i));
-        }
-        Ok(v)
-    }
-
-    fn ws(&mut self) {
-        while self.i < self.s.len() && matches!(self.s[self.i], b' ' | b'\t' | b'\n' | b'\r') {
-            self.i += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.s.get(self.i).copied()
-    }
-
-    fn eat(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.i += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", b as char, self.i))
-        }
-    }
-
-    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        if self.s[self.i..].starts_with(word.as_bytes()) {
-            self.i += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {}", self.i))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.lit("true", Json::Bool(true)),
-            Some(b'f') => self.lit("false", Json::Bool(false)),
-            Some(b'n') => self.lit("null", Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.eat(b'{')?;
-        self.ws();
-        let mut fields = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.i += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.ws();
-            let key = self.string()?;
-            self.ws();
-            self.eat(b':')?;
-            self.ws();
-            let val = self.value()?;
-            fields.push((key, val));
-            self.ws();
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b'}') => {
-                    self.i += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                other => return Err(format!("bad object at byte {}: {other:?}", self.i)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.eat(b'[')?;
-        self.ws();
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.i += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.ws();
-            items.push(self.value()?);
-            self.ws();
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b']') => {
-                    self.i += 1;
-                    return Ok(Json::Arr(items));
-                }
-                other => return Err(format!("bad array at byte {}: {other:?}", self.i)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.i += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.i += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .s
-                                .get(self.i + 1..self.i + 5)
-                                .ok_or("short \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
-                            self.i += 4;
-                        }
-                        other => return Err(format!("bad escape {other:?}")),
-                    }
-                    self.i += 1;
-                }
-                Some(c) if c < 0x20 => {
-                    return Err(format!("raw control byte {c:#x} in string"));
-                }
-                Some(_) => {
-                    // Copy one UTF-8 scalar (input came from a &str).
-                    let rest = std::str::from_utf8(&self.s[self.i..]).map_err(|e| e.to_string())?;
-                    let ch = rest.chars().next().unwrap();
-                    out.push(ch);
-                    self.i += ch.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.i;
-        if self.peek() == Some(b'-') {
-            self.i += 1;
-        }
-        while matches!(
-            self.peek(),
-            Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
-            self.i += 1;
-        }
-        let text = std::str::from_utf8(&self.s[start..self.i]).map_err(|e| e.to_string())?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|e| format!("bad number {text:?}: {e}"))
-    }
-}
 
 // ---------------------------------------------------------------------------
 // Generators.
@@ -270,7 +45,7 @@ fn chrome_export_is_well_formed_json() {
     check("chrome_export_parses", |rng| {
         let events: Vec<TraceEvent> = (0..rng.below(40)).map(|_| random_event(rng)).collect();
         let out = trace::export_chrome(&events);
-        let doc = Parser::parse(&out).expect("export must parse");
+        let doc = Json::parse(&out).expect("export must parse");
 
         let arr = doc
             .get("traceEvents")
@@ -326,7 +101,7 @@ fn chrome_export_round_trips_names_and_args() {
         dur: Some(10),
         args: vec![("bank", 5), ("row", 1234)],
     }];
-    let doc = Parser::parse(&trace::export_chrome(&events)).unwrap();
+    let doc = Json::parse(&trace::export_chrome(&events)).unwrap();
     let arr = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
     // arr[0] is the process_name metadata record; arr[1] the span.
     let ev = &arr[1];
@@ -377,7 +152,7 @@ fn registry_json_dump_is_well_formed() {
                 }
             }
         }
-        let doc = Parser::parse(&reg.to_json())
+        let doc = Json::parse(&reg.to_json())
             .unwrap_or_else(|e| panic!("bad registry JSON ({e}):\n{}", reg.to_json()));
         // Spot-check: every top-level segment present in some path appears
         // as a key of the root object.
@@ -405,6 +180,6 @@ fn parser_rejects_malformed_documents() {
         "{\"a\": 1} trailing",
         "nul",
     ] {
-        assert!(Parser::parse(bad).is_err(), "accepted {bad:?}");
+        assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
     }
 }

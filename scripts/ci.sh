@@ -22,6 +22,9 @@ cargo test --workspace -q
 echo "==> determinism suite at EMERALD_THREADS=4"
 EMERALD_THREADS=4 cargo test --release --test determinism -q
 
+echo "==> conformance suite (32 random programs/draws, differential + metamorphic)"
+EMERALD_CONF_CASES=32 cargo test --release --test conformance -q
+
 echo "==> examples smoke test"
 cargo run --release --example trace_export >/dev/null
 
@@ -32,5 +35,7 @@ grep -q '"schema": "emerald-bench-v1"' BENCH_frame.json
 grep -q '"wall_ms"' BENCH_frame.json
 grep -q '"cycles_per_sec"' BENCH_frame.json
 grep -q '"speedup_vs_1t"' BENCH_frame.json
+grep -q '"phases"' BENCH_frame.json
+cargo test --release --test bench_schema -q
 
 echo "CI gate passed."

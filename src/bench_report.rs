@@ -1,0 +1,160 @@
+//! Benchmark report model and serializer for `emerald_bench`.
+//!
+//! The `emerald-bench-v1` schema is consumed by `scripts/bench.sh`, CI
+//! and the trajectory notes in `BENCH_frame.json`; changes must stay
+//! additive. The per-run `phases` object breaks wall time into setup
+//! (scene upload, config construction), simulation proper, and readback/
+//! verification — added to localize the observed >1-thread slowdown
+//! (speedup 0.23–0.74) to the phase that actually regresses.
+
+/// Wall-clock breakdown of one benchmark run, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Building memories, configs and uploading the scene.
+    pub setup_ms: f64,
+    /// The simulation loop itself.
+    pub sim_ms: f64,
+    /// Framebuffer readback and determinism verification.
+    pub readback_ms: f64,
+}
+
+impl PhaseTimes {
+    /// Total accounted wall time.
+    pub fn total_ms(&self) -> f64 {
+        self.setup_ms + self.sim_ms + self.readback_ms
+    }
+}
+
+/// One benchmark run at a fixed worker-thread count.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// Worker threads (`EMERALD_THREADS`) used.
+    pub threads: usize,
+    /// End-to-end wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Per-phase breakdown of `wall_ms`.
+    pub phases: PhaseTimes,
+}
+
+/// A named workload with its thread-scaling runs (first run is the
+/// 1-thread baseline the speedup column is relative to).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Stable workload name (e.g. `render_cs1_frame`).
+    pub name: &'static str,
+    /// Runs in increasing thread order.
+    pub runs: Vec<Run>,
+}
+
+/// Serializes the report in the `emerald-bench-v1` schema. The output is
+/// strict JSON (validated by `tests/bench_schema.rs` against the in-tree
+/// parser).
+pub fn to_json(workloads: &[Workload], smoke: bool) -> String {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"emerald-bench-v1\",\n");
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!("  \"host_threads\": {host},\n"));
+    s.push_str("  \"workloads\": [\n");
+    for (wi, w) in workloads.iter().enumerate() {
+        s.push_str(&format!("    {{ \"name\": \"{}\", \"runs\": [\n", w.name));
+        let base_ms = w.runs.first().map(|r| r.wall_ms).unwrap_or(0.0);
+        for (ri, r) in w.runs.iter().enumerate() {
+            let cps = if r.wall_ms > 0.0 {
+                r.cycles as f64 / (r.wall_ms / 1e3)
+            } else {
+                0.0
+            };
+            let speedup = if r.wall_ms > 0.0 {
+                base_ms / r.wall_ms
+            } else {
+                0.0
+            };
+            s.push_str(&format!(
+                "      {{ \"threads\": {}, \"wall_ms\": {:.3}, \"cycles\": {}, \"cycles_per_sec\": {:.1}, \"speedup_vs_1t\": {:.3}, \"phases\": {{ \"setup_ms\": {:.3}, \"sim_ms\": {:.3}, \"readback_ms\": {:.3} }} }}{}\n",
+                r.threads,
+                r.wall_ms,
+                r.cycles,
+                cps,
+                speedup,
+                r.phases.setup_ms,
+                r.phases.sim_ms,
+                r.phases.readback_ms,
+                if ri + 1 < w.runs.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "    ] }}{}\n",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emerald_common::json::Json;
+
+    fn sample() -> Vec<Workload> {
+        vec![Workload {
+            name: "w",
+            runs: vec![
+                Run {
+                    threads: 1,
+                    wall_ms: 10.0,
+                    cycles: 1000,
+                    phases: PhaseTimes {
+                        setup_ms: 2.0,
+                        sim_ms: 7.0,
+                        readback_ms: 1.0,
+                    },
+                },
+                Run {
+                    threads: 2,
+                    wall_ms: 20.0,
+                    cycles: 1000,
+                    phases: PhaseTimes {
+                        setup_ms: 2.0,
+                        sim_ms: 17.0,
+                        readback_ms: 1.0,
+                    },
+                },
+            ],
+        }]
+    }
+
+    #[test]
+    fn report_is_strict_json_with_v1_schema() {
+        let doc = Json::parse(&to_json(&sample(), true)).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").unwrap().as_str().unwrap(),
+            "emerald-bench-v1"
+        );
+        let runs = doc.get("workloads").unwrap().as_arr().unwrap()[0]
+            .get("runs")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[1].get("speedup_vs_1t").unwrap().as_num().unwrap(), 0.5);
+        let phases = runs[0].get("phases").unwrap();
+        assert_eq!(phases.get("sim_ms").unwrap().as_num().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn phase_times_sum() {
+        let p = PhaseTimes {
+            setup_ms: 1.0,
+            sim_ms: 2.0,
+            readback_ms: 3.0,
+        };
+        assert!((p.total_ms() - 6.0).abs() < 1e-12);
+    }
+}

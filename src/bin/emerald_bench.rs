@@ -1,27 +1,25 @@
 //! Offline benchmark harness: runs the canonical render, GPGPU and
 //! SoC-frame workloads at 1..N worker threads and emits
-//! `BENCH_frame.json` (wall-clock ms, simulated cycles, cycles/sec, and
-//! speedup vs. the 1-thread run) to seed the performance trajectory.
+//! `BENCH_frame.json` (wall-clock ms, simulated cycles, cycles/sec,
+//! speedup vs. the 1-thread run, and a per-phase wall-time breakdown)
+//! to seed the performance trajectory.
 //!
 //! Usage: `emerald_bench [--smoke] [--out PATH]` — `scripts/bench.sh`
 //! wraps the release build and runs from the repo root. `--smoke` shrinks
 //! every workload for CI smoke checks; timings are then meaningless but
 //! the JSON shape (and the cross-thread determinism checks) still hold.
 
+use emerald::bench_report::{to_json, PhaseTimes, Run, Workload};
 use emerald::core::session::SceneBinding;
 use emerald::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 
-struct Run {
-    threads: usize,
-    wall_ms: f64,
-    cycles: u64,
-}
-
-struct Workload {
-    name: &'static str,
-    runs: Vec<Run>,
+/// Measures one closure in milliseconds.
+fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed().as_secs_f64() * 1e3, r)
 }
 
 fn main() {
@@ -41,20 +39,15 @@ fn main() {
     let mut reference_fb: Option<Vec<u32>> = None;
     let mut runs = Vec::new();
     for &t in thread_counts {
-        let (wall_ms, cycles, fb) = bench_render(t, w, h);
-        match &reference_fb {
-            None => reference_fb = Some(fb),
-            Some(r) => assert_eq!(
-                r, &fb,
-                "render framebuffer differs at {t} threads — determinism broken"
-            ),
+        let (run, fb) = bench_render(t, w, h, &mut reference_fb);
+        eprintln!(
+            "render_cs1_frame t={t}: {:.1} ms ({:.1} setup / {:.1} sim / {:.1} readback), {} cycles",
+            run.wall_ms, run.phases.setup_ms, run.phases.sim_ms, run.phases.readback_ms, run.cycles
+        );
+        if reference_fb.is_none() {
+            reference_fb = Some(fb);
         }
-        eprintln!("render_cs1_frame t={t}: {wall_ms:.1} ms, {cycles} cycles");
-        runs.push(Run {
-            threads: t,
-            wall_ms,
-            cycles,
-        });
+        runs.push(run);
     }
     workloads.push(Workload {
         name: "render_cs1_frame",
@@ -65,13 +58,12 @@ fn main() {
     let n = if smoke { 1 << 12 } else { 1 << 16 };
     let mut runs = Vec::new();
     for &t in thread_counts {
-        let (wall_ms, cycles) = bench_saxpy(t, n);
-        eprintln!("gpgpu_saxpy t={t}: {wall_ms:.1} ms, {cycles} cycles");
-        runs.push(Run {
-            threads: t,
-            wall_ms,
-            cycles,
-        });
+        let run = bench_saxpy(t, n);
+        eprintln!(
+            "gpgpu_saxpy t={t}: {:.1} ms ({:.1} setup / {:.1} sim / {:.1} readback), {} cycles",
+            run.wall_ms, run.phases.setup_ms, run.phases.sim_ms, run.phases.readback_ms, run.cycles
+        );
+        runs.push(run);
     }
     workloads.push(Workload {
         name: "gpgpu_saxpy",
@@ -81,13 +73,12 @@ fn main() {
     // 3. Full SoC frame (display + CPUs + GPU behind the shared memsys).
     let mut runs = Vec::new();
     for &t in thread_counts {
-        let (wall_ms, cycles) = bench_soc_frame(t, smoke);
-        eprintln!("soc_frame t={t}: {wall_ms:.1} ms, {cycles} cycles");
-        runs.push(Run {
-            threads: t,
-            wall_ms,
-            cycles,
-        });
+        let run = bench_soc_frame(t, smoke);
+        eprintln!(
+            "soc_frame t={t}: {:.1} ms ({:.1} setup / {:.1} sim / {:.1} readback), {} cycles",
+            run.wall_ms, run.phases.setup_ms, run.phases.sim_ms, run.phases.readback_ms, run.cycles
+        );
+        runs.push(run);
     }
     workloads.push(Workload {
         name: "soc_frame",
@@ -99,127 +90,142 @@ fn main() {
     eprintln!("wrote {out_path}");
 }
 
-fn bench_render(threads: usize, width: u32, height: u32) -> (f64, u64, Vec<u32>) {
-    let mem = SharedMem::with_capacity(1 << 26);
-    let rt = RenderTarget::alloc(&mem, width, height);
-    rt.clear(&mem, [0.0; 4], 1.0);
-    let mut cfg = GpuConfig::case_study_1();
-    cfg.threads = threads;
-    let mut r = GpuRenderer::new(cfg, GfxConfig::case_study_1(), mem.clone(), rt);
-    let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
-        2,
-        DramConfig::lpddr3_1600(),
-    )));
-    let wl = emerald::scene::workloads::w_models().swap_remove(1);
-    let binding = SceneBinding::new(&mem, &wl);
-    r.draw(binding.draw_for_frame(0, width as f32 / height as f32, false));
-    let t0 = Instant::now();
-    let s = r.run_frame(&mut port, 500_000_000);
-    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    (wall_ms, s.cycles, rt.read_color(&mem))
+fn bench_render(
+    threads: usize,
+    width: u32,
+    height: u32,
+    reference_fb: &mut Option<Vec<u32>>,
+) -> (Run, Vec<u32>) {
+    let (setup_ms, (mem, rt, mut r, mut port)) = timed(|| {
+        let mem = SharedMem::with_capacity(1 << 26);
+        let rt = RenderTarget::alloc(&mem, width, height);
+        rt.clear(&mem, [0.0; 4], 1.0);
+        let mut cfg = GpuConfig::case_study_1();
+        cfg.threads = threads;
+        let mut r = GpuRenderer::new(cfg, GfxConfig::case_study_1(), mem.clone(), rt);
+        let port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
+            2,
+            DramConfig::lpddr3_1600(),
+        )));
+        let wl = emerald::scene::workloads::w_models().swap_remove(1);
+        let binding = SceneBinding::new(&mem, &wl);
+        r.draw(binding.draw_for_frame(0, width as f32 / height as f32, false));
+        (mem, rt, r, port)
+    });
+    let (sim_ms, s) = timed(|| r.run_frame(&mut port, 500_000_000));
+    let (readback_ms, fb) = timed(|| {
+        let fb = rt.read_color(&mem);
+        if let Some(reference) = reference_fb {
+            assert_eq!(
+                reference, &fb,
+                "render framebuffer differs at {threads} threads — determinism broken"
+            );
+        }
+        fb
+    });
+    let phases = PhaseTimes {
+        setup_ms,
+        sim_ms,
+        readback_ms,
+    };
+    (
+        Run {
+            threads,
+            wall_ms: phases.total_ms(),
+            cycles: s.cycles,
+            phases,
+        },
+        fb,
+    )
 }
 
-fn bench_saxpy(threads: usize, n: usize) -> (f64, u64) {
-    let mut cfg = GpuConfig::case_study_1();
-    cfg.threads = threads;
-    let mut gpu = emerald::gpu::Gpu::new(cfg);
-    let mem = SharedMem::with_capacity(1 << 24);
-    let mut ctx = emerald::gpu::GlobalMemCtx::new(mem.clone());
-    let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
-        2,
-        DramConfig::lpddr3_1600(),
-    )));
-    let x = mem.alloc((n * 4) as u64, 128);
-    let y = mem.alloc((n * 4) as u64, 128);
-    for i in 0..n {
-        mem.write_f32(x + (i * 4) as u64, i as f32);
-        mem.write_f32(y + (i * 4) as u64, 1.0);
+fn bench_saxpy(threads: usize, n: usize) -> Run {
+    let (setup_ms, (mut gpu, mut ctx, mut port, y)) = timed(|| {
+        let mut cfg = GpuConfig::case_study_1();
+        cfg.threads = threads;
+        let mut gpu = emerald::gpu::Gpu::new(cfg);
+        let mem = SharedMem::with_capacity(1 << 24);
+        let ctx = emerald::gpu::GlobalMemCtx::new(mem.clone());
+        let port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
+            2,
+            DramConfig::lpddr3_1600(),
+        )));
+        let x = mem.alloc((n * 4) as u64, 128);
+        let y = mem.alloc((n * 4) as u64, 128);
+        for i in 0..n {
+            mem.write_f32(x + (i * 4) as u64, i as f32);
+            mem.write_f32(y + (i * 4) as u64, 1.0);
+        }
+        let src = "
+            mov.b32 r0, %input0
+            shl.u32 r1, r0, 2
+            add.u32 r2, r1, %param0
+            add.u32 r3, r1, %param1
+            ld.global.b32 r4, [r2+0]
+            ld.global.b32 r5, [r3+0]
+            mov.b32 r6, %param2
+            mad.f32 r7, r6, r4, r5
+            st.global.b32 [r3+0], r7
+            exit";
+        let k = emerald::gpu::Kernel::linear(
+            Arc::new(emerald::isa::assemble(src).unwrap()),
+            n,
+            64,
+            vec![x as u32, y as u32, 2.0f32.to_bits()],
+        );
+        gpu.launch_kernel(k);
+        (gpu, ctx, port, (mem, y))
+    });
+    let (sim_ms, cycles) = timed(|| gpu.run_to_idle(0, 500_000_000, &mut ctx, &mut port));
+    // Spot-check the tail element so the phase measures a real readback.
+    let (readback_ms, _) = timed(|| {
+        let (mem, y) = &y;
+        let last = mem.read_f32(y + ((n - 1) * 4) as u64);
+        assert!(last.is_finite());
+        last
+    });
+    let phases = PhaseTimes {
+        setup_ms,
+        sim_ms,
+        readback_ms,
+    };
+    Run {
+        threads,
+        wall_ms: phases.total_ms(),
+        cycles,
+        phases,
     }
-    let src = "
-        mov.b32 r0, %input0
-        shl.u32 r1, r0, 2
-        add.u32 r2, r1, %param0
-        add.u32 r3, r1, %param1
-        ld.global.b32 r4, [r2+0]
-        ld.global.b32 r5, [r3+0]
-        mov.b32 r6, %param2
-        mad.f32 r7, r6, r4, r5
-        st.global.b32 [r3+0], r7
-        exit";
-    let k = emerald::gpu::Kernel::linear(
-        Arc::new(emerald::isa::assemble(src).unwrap()),
-        n,
-        64,
-        vec![x as u32, y as u32, 2.0f32.to_bits()],
-    );
-    gpu.launch_kernel(k);
-    let t0 = Instant::now();
-    let cycles = gpu.run_to_idle(0, 500_000_000, &mut ctx, &mut port);
-    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    (wall_ms, cycles)
 }
 
-fn bench_soc_frame(threads: usize, smoke: bool) -> (f64, u64) {
+fn bench_soc_frame(threads: usize, smoke: bool) -> Run {
     use emerald::soc::experiment::{run_cell, MemCfgKind, RunParams};
     // `run_cell` builds its GPU configs internally, which seed their
     // thread knob from the environment.
-    std::env::set_var("EMERALD_THREADS", threads.to_string());
-    let m = &emerald::scene::workloads::m_models()[1];
-    let params = RunParams {
-        width: if smoke { 48 } else { 64 },
-        height: if smoke { 32 } else { 48 },
-        frames: 1,
-        dram: DramConfig::lpddr3_1333(),
-        gpu_frame_period: 200_000,
-        probe_window: None,
-        max_cycles_per_frame: 500_000_000,
-    };
-    let t0 = Instant::now();
-    let res = run_cell(m, MemCfgKind::Dcb, &params);
-    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (setup_ms, (m, params)) = timed(|| {
+        std::env::set_var("EMERALD_THREADS", threads.to_string());
+        let m = emerald::scene::workloads::m_models().swap_remove(1);
+        let params = RunParams {
+            width: if smoke { 48 } else { 64 },
+            height: if smoke { 32 } else { 48 },
+            frames: 1,
+            dram: DramConfig::lpddr3_1333(),
+            gpu_frame_period: 200_000,
+            probe_window: None,
+            max_cycles_per_frame: 500_000_000,
+        };
+        (m, params)
+    });
+    let (sim_ms, res) = timed(|| run_cell(&m, MemCfgKind::Dcb, &params));
     std::env::remove_var("EMERALD_THREADS");
-    (wall_ms, res.avg_total_cycles as u64)
-}
-
-fn to_json(workloads: &[Workload], smoke: bool) -> String {
-    let host = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"schema\": \"emerald-bench-v1\",\n");
-    s.push_str(&format!("  \"smoke\": {smoke},\n"));
-    s.push_str(&format!("  \"host_threads\": {host},\n"));
-    s.push_str("  \"workloads\": [\n");
-    for (wi, w) in workloads.iter().enumerate() {
-        s.push_str(&format!("    {{ \"name\": \"{}\", \"runs\": [\n", w.name));
-        let base_ms = w.runs.first().map(|r| r.wall_ms).unwrap_or(0.0);
-        for (ri, r) in w.runs.iter().enumerate() {
-            let cps = if r.wall_ms > 0.0 {
-                r.cycles as f64 / (r.wall_ms / 1e3)
-            } else {
-                0.0
-            };
-            let speedup = if r.wall_ms > 0.0 {
-                base_ms / r.wall_ms
-            } else {
-                0.0
-            };
-            s.push_str(&format!(
-                "      {{ \"threads\": {}, \"wall_ms\": {:.3}, \"cycles\": {}, \"cycles_per_sec\": {:.1}, \"speedup_vs_1t\": {:.3} }}{}\n",
-                r.threads,
-                r.wall_ms,
-                r.cycles,
-                cps,
-                speedup,
-                if ri + 1 < w.runs.len() { "," } else { "" }
-            ));
-        }
-        s.push_str(&format!(
-            "    ] }}{}\n",
-            if wi + 1 < workloads.len() { "," } else { "" }
-        ));
+    let phases = PhaseTimes {
+        setup_ms,
+        sim_ms,
+        readback_ms: 0.0,
+    };
+    Run {
+        threads,
+        wall_ms: phases.total_ms(),
+        cycles: res.avg_total_cycles as u64,
+        phases,
     }
-    s.push_str("  ]\n}\n");
-    s
 }

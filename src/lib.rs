@@ -44,6 +44,8 @@
 //! assert!(stats.fragments > 0);
 //! ```
 
+pub mod bench_report;
+
 pub use emerald_common as common;
 pub use emerald_core as core;
 pub use emerald_gpu as gpu;

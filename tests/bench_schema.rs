@@ -1,0 +1,145 @@
+//! Guards the `emerald-bench-v1` report schema: both a synthetic report
+//! built through [`emerald::bench_report`] and the committed
+//! `BENCH_frame.json` must parse with the in-tree strict JSON parser and
+//! carry the fields downstream tooling greps for.
+
+use emerald::bench_report::{to_json, PhaseTimes, Run, Workload};
+use emerald::common::json::Json;
+
+fn assert_v1_shape(doc: &Json, require_phases: bool) {
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some("emerald-bench-v1"),
+        "schema tag"
+    );
+    assert!(doc.get("smoke").and_then(|s| s.as_bool()).is_some());
+    assert!(doc.get("host_threads").and_then(|s| s.as_num()).is_some());
+    let workloads = doc
+        .get("workloads")
+        .and_then(|w| w.as_arr())
+        .expect("workloads array");
+    assert!(!workloads.is_empty());
+    for w in workloads {
+        assert!(w.get("name").and_then(|n| n.as_str()).is_some());
+        let runs = w.get("runs").and_then(|r| r.as_arr()).expect("runs array");
+        assert!(!runs.is_empty());
+        let mut threads_seen = Vec::new();
+        for r in runs {
+            for field in [
+                "threads",
+                "wall_ms",
+                "cycles",
+                "cycles_per_sec",
+                "speedup_vs_1t",
+            ] {
+                assert!(
+                    r.get(field).and_then(|v| v.as_num()).is_some(),
+                    "run field {field} missing or non-numeric"
+                );
+            }
+            threads_seen.push(r.get("threads").unwrap().as_num().unwrap() as u64);
+            if require_phases {
+                let phases = r.get("phases").expect("phases object");
+                for field in ["setup_ms", "sim_ms", "readback_ms"] {
+                    assert!(
+                        phases.get(field).and_then(|v| v.as_num()).is_some(),
+                        "phase field {field} missing or non-numeric"
+                    );
+                }
+            }
+        }
+        // The 1-thread baseline comes first; speedup there is 1.0 (or 0.0
+        // for a degenerate zero-time run, which must still serialize).
+        assert_eq!(threads_seen[0], 1, "first run is the 1-thread baseline");
+        let base_wall = runs[0].get("wall_ms").unwrap().as_num().unwrap();
+        let base_speedup = runs[0].get("speedup_vs_1t").unwrap().as_num().unwrap();
+        if base_wall > 0.0 {
+            assert!((base_speedup - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn synthetic_report_matches_schema() {
+    let workloads = vec![
+        Workload {
+            name: "alpha",
+            runs: vec![
+                Run {
+                    threads: 1,
+                    wall_ms: 12.5,
+                    cycles: 4000,
+                    phases: PhaseTimes {
+                        setup_ms: 2.0,
+                        sim_ms: 10.0,
+                        readback_ms: 0.5,
+                    },
+                },
+                Run {
+                    threads: 4,
+                    wall_ms: 25.0,
+                    cycles: 4000,
+                    phases: PhaseTimes {
+                        setup_ms: 2.0,
+                        sim_ms: 22.5,
+                        readback_ms: 0.5,
+                    },
+                },
+            ],
+        },
+        Workload {
+            name: "beta",
+            runs: vec![Run {
+                threads: 1,
+                wall_ms: 0.0, // degenerate timings must still serialize
+                cycles: 0,
+                phases: PhaseTimes::default(),
+            }],
+        },
+    ];
+    let text = to_json(&workloads, true);
+    let doc = Json::parse(&text).expect("report parses as strict JSON");
+    assert_v1_shape(&doc, true);
+
+    // The >1-thread slowdown this breakdown was added for is visible:
+    // sim_ms dominates and scales with wall_ms.
+    let runs = doc.get("workloads").unwrap().as_arr().unwrap()[0]
+        .get("runs")
+        .unwrap()
+        .as_arr()
+        .unwrap();
+    let sim0 = runs[0]
+        .get("phases")
+        .unwrap()
+        .get("sim_ms")
+        .unwrap()
+        .as_num()
+        .unwrap();
+    let sim1 = runs[1]
+        .get("phases")
+        .unwrap()
+        .get("sim_ms")
+        .unwrap()
+        .as_num()
+        .unwrap();
+    assert!(sim1 > sim0);
+    assert!(runs[1].get("speedup_vs_1t").unwrap().as_num().unwrap() < 1.0);
+}
+
+/// Validates the real report `scripts/bench.sh` emitted, when present.
+/// `BENCH_frame.json` is gitignored (timings are per-machine), so a fresh
+/// checkout skips; `scripts/ci.sh` re-runs this test right after the bench
+/// smoke so CI always validates a freshly emitted report.
+#[test]
+fn emitted_bench_report_parses_when_present() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_frame.json");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => {
+            eprintln!("BENCH_frame.json not emitted yet; skipping");
+            return;
+        }
+    };
+    let doc = Json::parse(&text).expect("emitted report parses as strict JSON");
+    assert_v1_shape(&doc, true);
+}

@@ -1,0 +1,151 @@
+//! Conformance suite: differential fuzzing of the ISA pipeline and the
+//! graphics pipeline against bit-identical references, plus metamorphic
+//! invariance over the configuration matrix and the injected-bug canary.
+//!
+//! Case counts scale with `EMERALD_CONF_CASES` (default 32; CI pushes run
+//! 32, the scheduled deep job runs 512). Every failure prints a replayable
+//! case seed via `emerald_common::check` and a shrunk counterexample.
+
+use emerald::common::check::{check_n, minimize};
+use emerald::common::rng::Xorshift64;
+use emerald_conformance::isadiff::{self, shrink_failing};
+use emerald_conformance::{
+    check_case, check_case_matrix, check_with_injected_bug, conf_cases, gen_draw, gen_program,
+    run_draw_case, shrink_draw_candidates,
+};
+
+/// Shrink-step budget. Generated programs have < 40 instructions, so this
+/// always reaches a fixpoint.
+const SHRINK_STEPS: usize = 200;
+
+/// Random ISA programs must execute identically on the SIMT timing model
+/// and the scalar reference walk: same output memory image (which embeds a
+/// per-thread register checksum), same instruction count, same retired
+/// warps.
+#[test]
+fn isa_differential_fuzz() {
+    let cases = conf_cases().max(32);
+    check_n("isa_differential", cases, |rng| {
+        let data_seed = rng.next_u64();
+        let gp = gen_program(rng);
+        if let Err(div) = check_case(&gp, data_seed) {
+            let (small, steps) =
+                shrink_failing(gp, |c| check_case(c, data_seed).is_err(), SHRINK_STEPS);
+            panic!(
+                "{div}\nshrunk in {steps} steps to {} live instructions:\n{}",
+                small.live_instrs(),
+                small.dump()
+            );
+        }
+    });
+}
+
+/// Random draw calls must render pixel-identically on the hardware
+/// pipeline and the reference rasterizer, across degenerate, clipped and
+/// off-screen geometry and every supported state combination.
+#[test]
+fn draw_differential_fuzz() {
+    let cases = (conf_cases() / 2).max(16);
+    check_n("draw_differential", cases, |rng| {
+        let case = gen_draw(rng);
+        let diff = run_draw_case(&case, &isadiff::base_config());
+        if diff != 0 {
+            let (small, steps) = minimize(
+                case,
+                shrink_draw_candidates,
+                |c| run_draw_case(c, &isadiff::base_config()) != 0,
+                SHRINK_STEPS,
+            );
+            panic!(
+                "draw diverges from reference by {diff} pixels; shrunk in {steps} steps to: {}",
+                small.describe()
+            );
+        }
+    });
+}
+
+/// Metamorphic invariance: the functional observables of an ISA program
+/// are identical across host thread counts (1/2/4), GTO vs. LRR warp
+/// scheduling, and halved/quartered cache geometries.
+#[test]
+fn isa_metamorphic_invariance() {
+    let cases = (conf_cases() / 4).max(8);
+    check_n("isa_metamorphic", cases, |rng| {
+        let data_seed = rng.next_u64();
+        let gp = gen_program(rng);
+        if let Err(div) = check_case_matrix(&gp, data_seed) {
+            let (small, steps) = shrink_failing(
+                gp,
+                |c| check_case_matrix(c, data_seed).is_err(),
+                SHRINK_STEPS,
+            );
+            panic!(
+                "{div}\nshrunk in {steps} steps to {} live instructions:\n{}",
+                small.live_instrs(),
+                small.dump()
+            );
+        }
+    });
+}
+
+/// Metamorphic invariance for draws: every configuration in the matrix
+/// must produce the reference image exactly, so all configurations agree
+/// with each other.
+#[test]
+fn draw_metamorphic_invariance() {
+    let cases = (conf_cases() / 8).max(4);
+    check_n("draw_metamorphic", cases, |rng| {
+        let case = gen_draw(rng);
+        for (label, cfg) in isadiff::config_matrix() {
+            let diff = run_draw_case(&case, &cfg);
+            assert_eq!(
+                diff,
+                0,
+                "config {label} diverges by {diff} pixels on: {}",
+                case.describe()
+            );
+        }
+    });
+}
+
+/// The canary: a deliberately injected ALU bug (`add.u32` → `sub.u32` on
+/// the timing side only) must be caught as a divergence, replay from its
+/// seed, and shrink to a smaller failing program that still contains the
+/// corrupted instruction.
+#[test]
+fn injected_alu_bug_is_caught_and_shrunk() {
+    let mut rng = Xorshift64::new(0x5EED_CA9A_11E5_0001);
+    let data_seed = rng.next_u64();
+    let gp = gen_program(&mut rng);
+    let site = emerald_conformance::bug_site(&gp).expect("prologue always has an add.u32");
+
+    // The healthy program passes...
+    check_case(&gp, data_seed).expect("unmutated program conforms");
+    // ...the corrupted one must not.
+    let div = check_with_injected_bug(&gp, site, data_seed)
+        .expect_err("injected ALU bug must be detected");
+    let msg = div.to_string();
+    assert!(msg.contains("injected_bug"), "report names the run: {msg}");
+
+    // Shrinking with the same oracle keeps the bug site live: candidates
+    // that Nop the corrupted add (or drop past it) pass and are rejected.
+    let (small, steps) = shrink_failing(
+        gp.clone(),
+        |c| check_with_injected_bug(c, site, data_seed).is_err(),
+        SHRINK_STEPS,
+    );
+    assert!(steps > 0, "shrinker makes progress");
+    assert!(
+        small.live_instrs() < gp.live_instrs(),
+        "shrunk program is smaller: {} < {}",
+        small.live_instrs(),
+        gp.live_instrs()
+    );
+    assert!(
+        emerald_conformance::bug_site(&small).is_some(),
+        "the corrupted instruction survives shrinking:\n{}",
+        small.dump()
+    );
+    // And the minimized case still reproduces.
+    check_with_injected_bug(&small, site, data_seed).expect_err("shrunk case still fails");
+}
