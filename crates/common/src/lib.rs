@@ -10,6 +10,8 @@
 //!   reproducible, so no ambient OS entropy is ever used.
 //! * [`math`] — vectors, matrices and geometric helpers for the graphics
 //!   pipeline (3D transforms, bounding boxes, barycentrics).
+//! * [`hash`] — a deterministic FxHash-style hasher for per-cycle maps
+//!   (no SipHash overhead, no per-map random seed, platform-stable).
 //! * [`fifo`] — bounded queues, the basic plumbing of the timing model.
 //! * [`check`] — a tiny deterministic property-test harness, so randomized
 //!   tests need no external crates (the build must work offline).
@@ -31,6 +33,7 @@
 
 pub mod check;
 pub mod fifo;
+pub mod hash;
 pub mod json;
 pub mod math;
 pub mod rng;
@@ -38,5 +41,6 @@ pub mod stats;
 pub mod types;
 
 pub use fifo::Fifo;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::Xorshift64;
 pub use types::{Addr, ClusterId, CoreId, Cycle, TrafficSource, WarpId};

@@ -188,22 +188,39 @@ pub fn compare(label: &str, got: &RunResult, want: &RunResult) -> Result<(), Div
 }
 
 /// The baseline fuzzing configuration: the tiny two-core GPU, single
-/// host thread for bitwise-reproducible failures.
+/// host thread for bitwise-reproducible failures. The parallel threshold
+/// is pinned (not inherited from `EMERALD_PAR_THRESHOLD`) so the matrix
+/// axes below control dispatch policy explicitly.
 pub fn base_config() -> GpuConfig {
     let mut cfg = GpuConfig::tiny();
     cfg.threads = 1;
+    cfg.parallel_threshold = emerald_gpu::config::DEFAULT_PARALLEL_THRESHOLD;
     cfg
 }
 
 /// The deterministic metamorphic configuration matrix: functional output
-/// must be invariant across host thread counts, warp schedulers and cache
-/// geometries. Labels are stable for failure reports.
+/// must be invariant across host thread counts, warp schedulers, cache
+/// geometries and parallel-dispatch policy (pool forced on every cycle
+/// vs. never engaged). Labels are stable for failure reports.
 pub fn config_matrix() -> Vec<(&'static str, GpuConfig)> {
     let base = base_config();
     let mut out = vec![("base_t1_gto", base.clone())];
     for (label, threads) in [("threads2", 2), ("threads4", 4)] {
         let mut c = base.clone();
         c.threads = threads;
+        out.push((label, c));
+    }
+    // Dispatch-policy axes: threshold 0 forces the worker pool on every
+    // non-empty cycle (even on single-CPU hosts), usize::MAX forbids it.
+    // Adaptive dispatch must be invisible to results.
+    for (label, threads, thr) in [
+        ("t2_pool_forced", 2, 0usize),
+        ("t4_pool_forced", 4, 0),
+        ("t4_pool_never", 4, usize::MAX),
+    ] {
+        let mut c = base.clone();
+        c.threads = threads;
+        c.parallel_threshold = thr;
         out.push((label, c));
     }
     let mut lrr = base.clone();

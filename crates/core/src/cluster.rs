@@ -6,8 +6,9 @@ use crate::batch::{CornerRef, PrimRef};
 use crate::config::GfxConfig;
 use crate::geom::{setup_prim, ClipVert, ScreenPrim, NUM_VARYINGS};
 use crate::tcmap::TcMap;
+use emerald_common::hash::{FxHashMap, FxHashSet};
 use emerald_common::types::Cycle;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// One fragment headed for shading.
@@ -123,7 +124,7 @@ pub struct TcStage {
     engines: Vec<Tce>,
     in_q: VecDeque<RasterTile>,
     flush_q: VecDeque<TcTile>,
-    busy: HashSet<(u32, u32)>,
+    busy: FxHashSet<(u32, u32)>,
     timeout: Cycle,
     enabled: bool,
 }
@@ -135,7 +136,7 @@ impl TcStage {
             engines: (0..cfg.tc_engines).map(|_| Tce::new(n_slots)).collect(),
             in_q: VecDeque::new(),
             flush_q: VecDeque::new(),
-            busy: HashSet::new(),
+            busy: FxHashSet::default(),
             timeout: cfg.tc_timeout,
             enabled: cfg.tc_enabled,
         }
@@ -227,7 +228,7 @@ impl TcStage {
     /// marking it busy. Tiles for *other* positions may overtake a blocked
     /// one; tiles for the *same* position stay in order.
     pub fn pop_ready(&mut self) -> Option<TcTile> {
-        let mut blocked: HashSet<(u32, u32)> = HashSet::new();
+        let mut blocked: FxHashSet<(u32, u32)> = FxHashSet::default();
         for i in 0..self.flush_q.len() {
             let pos = self.flush_q[i].tc_pos;
             if self.busy.contains(&pos) || blocked.contains(&pos) {
@@ -269,7 +270,7 @@ pub struct ClusterPipe {
     coarse_q: VecDeque<Rc<ScreenPrim>>,
     coarse: Option<CoarseState>,
     hiz_q: VecDeque<PendingTile>,
-    hiz: HashMap<(u32, u32), f32>,
+    hiz: FxHashMap<(u32, u32), f32>,
     fine_q: VecDeque<PendingTile>,
     /// The TC stage (public so the renderer can pop/launch/complete).
     pub tc: TcStage,
@@ -287,7 +288,7 @@ impl ClusterPipe {
             coarse_q: VecDeque::new(),
             coarse: None,
             hiz_q: VecDeque::new(),
-            hiz: HashMap::new(),
+            hiz: FxHashMap::default(),
             fine_q: VecDeque::new(),
             tc: TcStage::new(cfg),
             stats: ClusterStats::default(),
@@ -604,7 +605,7 @@ mod tests {
     fn cluster_only_rasterizes_owned_tiles() {
         // Two clusters: each should produce a disjoint set of TC tiles.
         let tcmap = TcMap::new(W, H, 8, 1, 2);
-        let mut per_cluster: Vec<HashSet<(u32, u32)>> = Vec::new();
+        let mut per_cluster: Vec<FxHashSet<(u32, u32)>> = Vec::new();
         let mut total = 0usize;
         for cl in 0..2 {
             let mut pipe = ClusterPipe::new(cl, &full_cfg());

@@ -243,6 +243,9 @@ impl CycleCtx for GfxCtx<SharedMem> {
         }
         self.mem.write(|img| {
             for b in bufs.iter_mut() {
+                if b.is_empty() {
+                    continue;
+                }
                 b.drain(|class, addr, value| {
                     debug_assert_eq!(class, WClass::Image, "graphics never uses scratch");
                     img.write_u32(addr, value);

@@ -22,6 +22,7 @@ use crate::shaders::{abi, vs_params};
 use crate::state::{DrawCall, RenderTarget, OVB_STRIDE};
 use crate::tcmap::TcMap;
 use crate::vpo::{Pmrb, PrimMask, VpoStats, VpoUnit};
+use emerald_common::hash::{FxHashMap, FxHashSet};
 use emerald_common::math::Vec4;
 use emerald_common::types::{Addr, Cycle};
 use emerald_gpu::gpu::MemPort;
@@ -31,7 +32,7 @@ use emerald_isa::reg::input;
 use emerald_isa::ThreadState;
 use emerald_mem::image::SharedMem;
 use emerald_mem::link::Link;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Per-frame measurement results.
 #[derive(Debug, Clone, Default)]
@@ -128,9 +129,9 @@ struct DrawState {
     warps: Vec<VertexWarp>,
     next_warp: usize,
     credits: usize,
-    completed: HashSet<u32>,
+    completed: FxHashSet<u32>,
     /// seq → clusters yet to consume its mask.
-    consumptions: HashMap<u32, usize>,
+    consumptions: FxHashMap<u32, usize>,
     core_cursor: usize,
     vs_params: Vec<u32>,
 }
@@ -153,8 +154,8 @@ pub struct GpuRenderer {
     mask_link: Link<(usize, PrimMask)>,
     cur: Option<DrawState>,
     queue: VecDeque<(DrawCall, Option<u32>)>,
-    jobs: HashMap<u64, WarpJob>,
-    tiles: HashMap<u64, TileEntry>,
+    jobs: FxHashMap<u64, WarpJob>,
+    tiles: FxHashMap<u64, TileEntry>,
     launching: Vec<Option<(TcTile, usize)>>,
     launch_tile_ids: Vec<u64>,
     next_id: u64,
@@ -202,8 +203,8 @@ impl GpuRenderer {
             mask_link: Link::new(8, n.max(1), 256),
             cur: None,
             queue: VecDeque::new(),
-            jobs: HashMap::new(),
-            tiles: HashMap::new(),
+            jobs: FxHashMap::default(),
+            tiles: FxHashMap::default(),
             launching: (0..n).map(|_| None).collect(),
             launch_tile_ids: vec![0; n],
             next_id: 1,
@@ -325,7 +326,7 @@ impl GpuRenderer {
             warps,
             next_warp: 0,
             credits: self.cfg.max_vertex_warps,
-            completed: HashSet::new(),
+            completed: FxHashSet::default(),
             consumptions,
             core_cursor: 0,
             vs_params,
@@ -531,13 +532,13 @@ impl GpuRenderer {
 
         // 4. VPO bounding-box units.
         let any_vpo_work = self.vpos.iter().any(|v| !v.is_idle());
-        let completed: HashSet<u32> = if any_vpo_work {
+        let completed: FxHashSet<u32> = if any_vpo_work {
             self.cur
                 .as_ref()
                 .map(|d| d.completed.clone())
                 .unwrap_or_default()
         } else {
-            HashSet::new()
+            FxHashSet::default()
         };
         let mem = self.mem.clone();
         let ovb_base = self.ovb_base;

@@ -14,8 +14,9 @@
 use crate::batch::{CornerRef, PrimRef, VertexWarp};
 use crate::geom::{setup_prim, ClipVert, CullReason, NUM_VARYINGS};
 use crate::tcmap::TcMap;
+use emerald_common::hash::FxHashMap;
 use emerald_common::math::Vec4;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A per-destination-cluster primitive mask for one vertex warp.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,7 +174,7 @@ pub struct Pmrb {
     /// Smallest sequence number not yet fully consumed.
     expected: u32,
     total_warps: u32,
-    pending: HashMap<u32, PrimMask>,
+    pending: FxHashMap<u32, PrimMask>,
     /// Sequence currently being scanned (differs from `expected` in
     /// out-of-order mode).
     cur: Option<u32>,
@@ -191,7 +192,7 @@ impl Pmrb {
         Self {
             expected: 0,
             total_warps,
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             cur: None,
             bit_cursor: 0,
             done_seqs: std::collections::BTreeSet::new(),

@@ -57,7 +57,20 @@ pub struct GpuConfig {
     /// value (see `Gpu::cycle`). Preset constructors seed this from the
     /// `EMERALD_THREADS` environment variable.
     pub threads: usize,
+    /// Minimum number of *active* cores in a cycle before the worker pool
+    /// is engaged; below it the phase runs inline on the caller, which is
+    /// faster for lightly-loaded cycles (the per-phase dispatch handoff
+    /// costs more than the work). `0` forces the pool on every non-empty
+    /// cycle regardless of host CPU count (used by conformance to exercise
+    /// the parallel path); `usize::MAX` disables the pool entirely. Results
+    /// are bit-identical at any value. Preset constructors seed this from
+    /// the `EMERALD_PAR_THRESHOLD` environment variable.
+    pub parallel_threshold: usize,
 }
+
+/// Default [`GpuConfig::parallel_threshold`]: engage the pool once at
+/// least this many cores have work in the same cycle.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 2;
 
 fn l1(name: &str, size: usize, ways: usize, policy: WritePolicy) -> CacheConfig {
     CacheConfig {
@@ -81,6 +94,21 @@ impl GpuConfig {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .unwrap_or(1)
             .max(1)
+    }
+
+    /// Pool-engagement threshold from `EMERALD_PAR_THRESHOLD`: a core
+    /// count, or `max` (case-insensitive) for "never engage the pool".
+    /// Defaults to [`DEFAULT_PARALLEL_THRESHOLD`] when unset or
+    /// unparsable.
+    pub fn parallel_threshold_from_env() -> usize {
+        match std::env::var("EMERALD_PAR_THRESHOLD") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("max") => usize::MAX,
+            Ok(v) => v
+                .trim()
+                .parse::<usize>()
+                .unwrap_or(DEFAULT_PARALLEL_THRESHOLD),
+            Err(_) => DEFAULT_PARALLEL_THRESHOLD,
+        }
     }
 
     /// Case study I GPU (Table 5): 4 SIMT cores @128 CUDA cores, 16 KB L1D,
@@ -115,6 +143,7 @@ impl GpuConfig {
             icnt_latency: 8,
             icnt_per_cycle: 8,
             threads: Self::threads_from_env(),
+            parallel_threshold: Self::parallel_threshold_from_env(),
         }
     }
 
@@ -151,6 +180,7 @@ impl GpuConfig {
             icnt_latency: 8,
             icnt_per_cycle: 12,
             threads: Self::threads_from_env(),
+            parallel_threshold: Self::parallel_threshold_from_env(),
         }
     }
 

@@ -9,12 +9,13 @@
 
 use crate::config::{GpuConfig, WarpSched};
 use crate::warp::{Warp, WarpTag};
+use emerald_common::hash::FxHashMap;
 use emerald_common::types::{AccessKind, Addr, CoreId, Cycle};
 use emerald_isa::exec::Surface;
 use emerald_isa::op::{LatencyClass, Op};
 use emerald_isa::{execute, ExecCtx, Outcome};
 use emerald_mem::cache::{Access, Cache};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A coalesced line access waiting for an L1 port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +86,10 @@ pub struct SimtCore {
     pub id: CoreId,
     cfg: GpuConfig,
     warps: Vec<Option<Warp>>,
+    /// Resident-warp count, kept in sync with `warps` so `occupancy` is
+    /// O(1) — the active-set scan in `Gpu::cycle` queries it every cycle
+    /// for every core.
+    resident: usize,
     /// Launch sequence per slot (for greedy-then-oldest).
     seq: Vec<u64>,
     next_seq: u64,
@@ -94,14 +99,14 @@ pub struct SimtCore {
     l1z: Cache,
     l1c: Cache,
     lsu: VecDeque<PendingLine>,
-    tokens: HashMap<u64, MemToken>,
+    tokens: FxHashMap<u64, MemToken>,
     next_token: u64,
     reg_release: BTreeMap<Cycle, Vec<(usize, Vec<u8>)>>,
     token_done: BTreeMap<Cycle, Vec<u64>>,
     miss_out: VecDeque<L1Miss>,
     finished: Vec<WarpTag>,
     used_regs: usize,
-    barriers: HashMap<(usize, usize), usize>,
+    barriers: FxHashMap<(usize, usize), usize>,
     stats: CoreStats,
     /// Last cycle seen by [`SimtCore::cycle`]; timestamps trace events from
     /// call sites (like launch) that have no cycle argument.
@@ -114,6 +119,7 @@ impl SimtCore {
         Self {
             id,
             warps: (0..cfg.max_warps_per_core).map(|_| None).collect(),
+            resident: 0,
             seq: vec![0; cfg.max_warps_per_core],
             next_seq: 0,
             last_greedy: vec![None; cfg.schedulers_per_core],
@@ -122,14 +128,14 @@ impl SimtCore {
             l1z: Cache::new(cfg.l1z.clone()),
             l1c: Cache::new(cfg.l1c.clone()),
             lsu: VecDeque::new(),
-            tokens: HashMap::new(),
+            tokens: FxHashMap::default(),
             next_token: 1, // 0 is the untracked-write sentinel
             reg_release: BTreeMap::new(),
             token_done: BTreeMap::new(),
             miss_out: VecDeque::new(),
             finished: Vec::new(),
             used_regs: 0,
-            barriers: HashMap::new(),
+            barriers: FxHashMap::default(),
             cfg: cfg.clone(),
             stats: CoreStats::default(),
             now: 0,
@@ -165,6 +171,7 @@ impl SimtCore {
         self.seq[slot] = self.next_seq;
         self.next_seq += 1;
         self.warps[slot] = Some(warp);
+        self.resident += 1;
         self.stats.warps_launched += 1;
         emerald_obs::trace::instant_args(
             emerald_obs::TraceCat::Warp,
@@ -178,12 +185,26 @@ impl SimtCore {
 
     /// Resident warps.
     pub fn occupancy(&self) -> usize {
-        self.warps.iter().filter(|w| w.is_some()).count()
+        self.resident
     }
 
     /// True when no warp is resident and no memory is in flight.
     pub fn is_idle(&self) -> bool {
         self.occupancy() == 0 && self.lsu.is_empty() && self.tokens.is_empty()
+    }
+
+    /// True when this core would do *any* state change in a cycle: a warp
+    /// is resident, a line access is queued, a memory token is in flight,
+    /// or a scheduled writeback/token completion is pending. A core for
+    /// which this is false can skip its cycle entirely — the only effect
+    /// would be bumping `stats.cycles`, and the active-set scan in
+    /// `Gpu::cycle` depends on that equivalence.
+    pub fn is_active(&self) -> bool {
+        self.resident > 0
+            || !self.lsu.is_empty()
+            || !self.tokens.is_empty()
+            || !self.reg_release.is_empty()
+            || !self.token_done.is_empty()
     }
 
     /// Statistics so far.
@@ -415,6 +436,7 @@ impl SimtCore {
             let retire = self.warps[slot].as_ref().is_some_and(|w| w.is_finished());
             if retire {
                 let w = self.warps[slot].take().expect("warp exists");
+                self.resident -= 1;
                 self.used_regs -= Self::reg_demand(&w.program);
                 self.finished.push(w.tag);
                 self.stats.warps_retired += 1;

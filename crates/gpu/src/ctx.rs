@@ -202,6 +202,9 @@ impl CycleCtx for GlobalMemCtx {
         let mut scratch = Vec::new();
         self.mem.write(|img| {
             for b in bufs.iter_mut() {
+                if b.is_empty() {
+                    continue;
+                }
                 b.drain(|class, addr, value| match class {
                     WClass::Image => img.write_u32(addr, value),
                     WClass::Scratch => scratch.push((addr, value)),

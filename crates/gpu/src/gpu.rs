@@ -6,7 +6,7 @@ use crate::config::GpuConfig;
 use crate::core::{L1Miss, SimtCore};
 use crate::kernel::{Kernel, KernelState, INPUT_SHARED_BASE};
 use crate::l2::{L1Target, L2};
-use crate::phase::{CorePool, CycleCtx, SendPtr};
+use crate::phase::{host_parallelism, CorePool, CycleCtx, SendPtr};
 use crate::warp::{Warp, WarpTag};
 use emerald_common::types::{AccessKind, Addr, CoreId, Cycle, TrafficSource};
 use emerald_mem::link::Link;
@@ -113,8 +113,13 @@ pub struct Gpu {
     finished_external: Vec<(CoreId, u64)>,
     /// Per-core private store buffers for the bulk-synchronous core phase.
     store_bufs: Vec<StoreBuffer>,
-    /// Persistent phase workers, built on the first cycle that wants
-    /// `cfg.threads > 1` parallelism.
+    /// Indices of cores with work this cycle (resident warps, queued line
+    /// accesses, in-flight tokens or scheduled writebacks), recomputed
+    /// after CTA dispatch. The core phase iterates only this set, so the
+    /// per-cycle cost scales with activity, not with `num_cores`.
+    active: Vec<usize>,
+    /// Persistent phase workers, built lazily the first cycle the adaptive
+    /// dispatcher decides to engage the pool.
     pool: Option<CorePool>,
     stats: GpuStats,
 }
@@ -142,6 +147,7 @@ impl Gpu {
             cta_cursor: 0,
             finished_external: Vec::new(),
             store_bufs: (0..num_cores).map(|_| StoreBuffer::default()).collect(),
+            active: Vec::with_capacity(num_cores),
             pool: None,
             stats: GpuStats::default(),
             cores,
@@ -313,41 +319,88 @@ impl Gpu {
         let _ = INPUT_SHARED_BASE; // convention documented in kernel.rs
     }
 
+    /// Rebuilds the active-core list from simulation state. The list is a
+    /// pure function of that state, so it is identical across thread
+    /// counts and dispatch policies — which keeps everything downstream
+    /// bit-reproducible.
+    fn collect_active(&mut self) {
+        self.active.clear();
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.is_active() {
+                self.active.push(i);
+            }
+        }
+    }
+
+    /// Whether this cycle's core phase should run on the worker pool.
+    ///
+    /// Policy: threshold `0` forces the pool (conformance uses this to
+    /// exercise the parallel path even on single-CPU hosts); `usize::MAX`
+    /// forbids it; anything else engages the pool once enough cores are
+    /// active *and* the host actually has CPUs to run workers on —
+    /// oversubscribing a single CPU only adds handoff latency.
+    fn engage_pool(&self, n_active: usize) -> bool {
+        if self.cfg.threads < 2 || n_active == 0 {
+            return false;
+        }
+        match self.cfg.parallel_threshold {
+            0 => true,
+            usize::MAX => false,
+            thr => n_active >= thr && host_parallelism() >= 2,
+        }
+    }
+
+    /// Worker-pool width: the configured thread count, capped by host
+    /// parallelism except in forced mode (threshold 0 must exercise the
+    /// configured width regardless of host). Fixed per configuration so
+    /// the pool is built once, never rebuilt cycle-to-cycle.
+    fn pool_width(&self) -> usize {
+        if self.cfg.parallel_threshold == 0 {
+            self.cfg.threads.max(2)
+        } else {
+            self.cfg.threads.min(host_parallelism()).max(2)
+        }
+    }
+
     /// Runs the parallel half of the bulk-synchronous core phase: every
-    /// core executes one cycle against the frozen `ctx` snapshot, storing
-    /// into its private buffer. Cores are sharded across the worker pool
-    /// when `cfg.threads > 1`; with one thread the same model runs on the
-    /// calling thread, so results never depend on the thread count.
+    /// *active* core executes one cycle against the frozen `ctx` snapshot,
+    /// storing into its private buffer. The active list is sharded across
+    /// the worker pool in contiguous chunks when the adaptive dispatcher
+    /// engages it; otherwise the same model runs inline on the calling
+    /// thread, so results never depend on the dispatch decision.
     fn core_phase<C: CycleCtx>(&mut self, now: Cycle, ctx: &C) {
-        let n = self.cores.len();
-        debug_assert_eq!(self.store_bufs.len(), n);
-        let threads = self.cfg.threads.clamp(1, n);
+        let n_active = self.active.len();
+        debug_assert!(n_active > 0, "caller skips cycles with no active core");
         let frozen = ctx.freeze();
-        if threads == 1 {
-            for (core, buf) in self.cores.iter_mut().zip(self.store_bufs.iter_mut()) {
-                let mut cctx = C::core(&frozen, buf);
-                core.cycle(now, &mut cctx);
+        if !self.engage_pool(n_active) {
+            for &i in &self.active {
+                let mut cctx = C::core(&frozen, &mut self.store_bufs[i]);
+                self.cores[i].cycle(now, &mut cctx);
                 C::finish(cctx);
             }
             return;
         }
-        if self.pool.as_ref().map(|p| p.threads()) != Some(threads) {
-            self.pool = Some(CorePool::new(threads));
+        let width = self.pool_width();
+        if self.pool.as_ref().map(|p| p.threads()) != Some(width) {
+            self.pool = Some(CorePool::new(width));
         }
         let pool = self.pool.as_ref().expect("pool just built");
         let cores = SendPtr(self.cores.as_mut_ptr());
         let bufs = SendPtr(self.store_bufs.as_mut_ptr());
-        let chunk = n.div_ceil(threads);
+        let active = &self.active[..];
+        let chunk = n_active.div_ceil(pool.threads());
         let frozen = &frozen;
         pool.run(&move |shard| {
-            let lo = shard * chunk;
-            let hi = ((shard + 1) * chunk).min(n);
-            for i in lo..hi {
-                // SAFETY: shards cover disjoint index ranges, so no two
-                // threads ever alias a core or buffer; `pool.run` joins
-                // all shards before the pointers' owner is touched again.
-                let core = unsafe { &mut *cores.add(i) };
-                let buf = unsafe { &mut *bufs.add(i) };
+            let lo = (shard * chunk).min(n_active);
+            let hi = ((shard + 1) * chunk).min(n_active);
+            for &ci in &active[lo..hi] {
+                // SAFETY: `active` holds strictly increasing, distinct
+                // core indices and shards cover disjoint ranges of it, so
+                // no two threads ever alias a core or buffer; `pool.run`
+                // joins all shards before the pointers' owner is touched
+                // again.
+                let core = unsafe { &mut *cores.add(ci) };
+                let buf = unsafe { &mut *bufs.add(ci) };
                 let mut cctx = C::core(frozen, buf);
                 core.cycle(now, &mut cctx);
                 C::finish(cctx);
@@ -365,11 +418,17 @@ impl Gpu {
     pub fn cycle<C: CycleCtx>(&mut self, now: Cycle, ctx: &mut C, port: &mut dyn MemPort) {
         port.tick(now);
         self.dispatch_ctas();
+        self.collect_active();
 
-        // 1. Cores execute (parallel phase), then their buffered stores
-        // are committed in core-index order.
-        self.core_phase(now, &*ctx);
-        ctx.commit(&mut self.store_bufs);
+        // 1. Active cores execute (parallel phase), then their buffered
+        // stores are committed in core-index order. A cycle with no active
+        // core skips the phase entirely — no freeze (memory lock), no
+        // buffer scan; inactive cores would be pure no-ops (their
+        // `is_active` guarantees it).
+        if !self.active.is_empty() {
+            self.core_phase(now, &*ctx);
+            ctx.commit(&mut self.store_bufs);
+        }
 
         // 2. Core misses → interconnect → L2 banks.
         for ci in 0..self.cores.len() {

@@ -44,5 +44,5 @@ pub use config::GpuConfig;
 pub use ctx::GlobalMemCtx;
 pub use gpu::{Gpu, MemPort, SimpleMemPort};
 pub use kernel::Kernel;
-pub use phase::CycleCtx;
+pub use phase::{host_parallelism, CorePool, CycleCtx};
 pub use warp::{Warp, WarpTag};

@@ -22,9 +22,22 @@ use emerald_isa::ExecCtx;
 use emerald_mem::view::StoreBuffer;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+
+/// Number of hardware threads the host offers (cached; 1 if unknown).
+///
+/// The adaptive dispatcher consults this once: engaging a worker pool on a
+/// single-CPU host can only slow the simulation down, because the workers
+/// time-slice against the dispatcher instead of running beside it.
+pub fn host_parallelism() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
 
 /// An execution context that can split itself into a frozen, thread-shared
 /// view plus per-core contexts for the parallel phase, then merge the
@@ -80,20 +93,41 @@ impl CycleCtx for NullCtx {
 /// Type-erased task: runs one worker's shard of the parallel phase.
 type Task<'a> = &'a (dyn Fn(usize) + Sync);
 
+/// Pool bookkeeping guarded by [`PoolShared::state`]. Every transition a
+/// waiter's predicate depends on happens under this mutex, immediately
+/// before the matching condvar notification — the standard discipline that
+/// makes untimed waits safe (no lost wakeups, so no timed-wait respin).
+struct PoolState {
+    /// Bumped once per dispatched phase; workers wait for it to change.
+    generation: u64,
+    /// Workers that finished the current phase.
+    done: usize,
+    shutdown: bool,
+}
+
 struct PoolShared {
     /// The current task; valid only between a generation bump and the
     /// matching `done` count, which is exactly when workers read it.
     task: std::cell::UnsafeCell<Option<Task<'static>>>,
-    /// Bumped once per dispatched phase; workers wait for it to change.
+    state: Mutex<PoolState>,
+    /// Signalled when a new generation is published (or shutdown).
+    start: Condvar,
+    /// Signalled when the last worker of a phase finishes.
+    finish: Condvar,
+    /// Lock-free mirror of `PoolState::generation` for the workers'
+    /// bounded spin fast path (phases are typically microseconds apart
+    /// while the simulator is busy).
     generation: AtomicU64,
-    /// Workers that finished the current phase.
+    /// Lock-free mirror of `PoolState::done` for the dispatcher's bounded
+    /// spin fast path.
     done: AtomicUsize,
+    /// Lock-free mirror of `PoolState::shutdown` so spinning workers can
+    /// exit without taking the lock.
+    shutdown: AtomicBool,
     /// A worker panicked during the phase.
     poisoned: AtomicBool,
-    shutdown: AtomicBool,
-    /// Blocking fallback for workers that spun too long without work.
-    gate: Mutex<()>,
-    cv: Condvar,
+    /// Number of spawned workers (`threads - 1`); the `done` target.
+    workers: usize,
 }
 
 // SAFETY: `task` is only written by the dispatching thread before the
@@ -104,9 +138,12 @@ unsafe impl Sync for PoolShared {}
 
 /// A persistent pool of phase workers. The calling thread participates as
 /// shard 0, so a pool built for `threads` parallelism spawns `threads - 1`
-/// OS threads. Workers spin briefly waiting for the next phase (cycles are
-/// microseconds apart when the simulator is busy), then block on a condvar.
-pub(crate) struct CorePool {
+/// OS threads.
+///
+/// Workers spin briefly waiting for the next phase, then park on a condvar
+/// until the dispatcher publishes a new generation — an idle pool burns no
+/// CPU between phases, and wakes promptly (one notify) when work arrives.
+pub struct CorePool {
     shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -126,12 +163,18 @@ impl CorePool {
         assert!(threads >= 2, "a pool below 2-way parallelism is pointless");
         let shared = Arc::new(PoolShared {
             task: std::cell::UnsafeCell::new(None),
+            state: Mutex::new(PoolState {
+                generation: 0,
+                done: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            finish: Condvar::new(),
             generation: AtomicU64::new(0),
             done: AtomicUsize::new(0),
-            poisoned: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
-            gate: Mutex::new(()),
-            cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+            workers: threads - 1,
         });
         let workers = (1..threads)
             .map(|shard| {
@@ -158,21 +201,39 @@ impl CorePool {
     /// Propagates (as a panic) any panic raised inside a worker's shard.
     pub fn run(&self, task: &(dyn Fn(usize) + Sync)) {
         let shared = &*self.shared;
+        let workers = self.workers.len();
         // SAFETY: lifetime erasure is sound because this function does not
         // return until every worker has finished running `task`.
         unsafe {
             *shared.task.get() = Some(std::mem::transmute::<Task<'_>, Task<'static>>(task));
         }
-        shared.done.store(0, Ordering::Release);
-        shared.generation.fetch_add(1, Ordering::Release);
         {
-            let _g = shared.gate.lock().unwrap();
-            self.shared.cv.notify_all();
+            let mut st = shared.state.lock().unwrap();
+            st.generation += 1;
+            st.done = 0;
+            // Mirror for the spin fast paths: `done` must be visibly zero
+            // before the new generation is observable.
+            shared.done.store(0, Ordering::Release);
+            shared.generation.store(st.generation, Ordering::Release);
+            shared.start.notify_all();
         }
         task(0);
-        while shared.done.load(Ordering::Acquire) < self.workers.len() {
-            std::hint::spin_loop();
-            std::thread::yield_now();
+        // Wait for the workers: brief spin (they usually finish within
+        // microseconds of shard 0), then park on `finish`.
+        let mut spins = 0u32;
+        while shared.done.load(Ordering::Acquire) < workers {
+            spins += 1;
+            if spins < 512 {
+                std::hint::spin_loop();
+            } else if spins < 1024 {
+                std::thread::yield_now();
+            } else {
+                let mut st = shared.state.lock().unwrap();
+                while st.done < workers {
+                    st = shared.finish.wait(st).unwrap();
+                }
+                break;
+            }
         }
         unsafe {
             *shared.task.get() = None;
@@ -186,10 +247,11 @@ impl CorePool {
 
 impl Drop for CorePool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
         {
-            let _g = self.shared.gate.lock().unwrap();
-            self.shared.cv.notify_all();
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.start.notify_all();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -200,7 +262,11 @@ impl Drop for CorePool {
 fn worker_loop(shared: &PoolShared, shard: usize) {
     let mut seen = 0u64;
     loop {
-        // Wait for the next generation: spin, then yield, then block.
+        // Wait for the next generation: spin briefly (back-to-back phases
+        // while the simulator is busy), then park on `start`. The park is
+        // untimed — every generation bump and the shutdown flag are set
+        // under `state` immediately before `start.notify_all()`, so a
+        // wakeup can never be lost and an idle pool burns no CPU.
         let mut spins = 0u32;
         loop {
             let g = shared.generation.load(Ordering::Acquire);
@@ -214,25 +280,30 @@ fn worker_loop(shared: &PoolShared, shard: usize) {
             spins += 1;
             if spins < 128 {
                 std::hint::spin_loop();
-            } else if spins < 512 {
+            } else if spins < 192 {
                 std::thread::yield_now();
             } else {
-                let guard = shared.gate.lock().unwrap();
-                if shared.generation.load(Ordering::Acquire) == seen
-                    && !shared.shutdown.load(Ordering::Acquire)
-                {
-                    // Timed wait so a lost notification can never wedge
-                    // the pool; the re-check above closes the usual race.
-                    let _ = shared.cv.wait_timeout(guard, Duration::from_millis(20));
+                let mut st = shared.state.lock().unwrap();
+                while st.generation == seen && !st.shutdown {
+                    st = shared.start.wait(st).unwrap();
                 }
-                spins = 0;
+                if st.shutdown {
+                    return;
+                }
+                seen = st.generation;
+                break;
             }
         }
         let task = unsafe { (*shared.task.get()).expect("task set before generation bump") };
         if catch_unwind(AssertUnwindSafe(|| task(shard))).is_err() {
             shared.poisoned.store(true, Ordering::Relaxed);
         }
-        shared.done.fetch_add(1, Ordering::AcqRel);
+        let mut st = shared.state.lock().unwrap();
+        st.done += 1;
+        shared.done.store(st.done, Ordering::Release);
+        if st.done == shared.workers {
+            shared.finish.notify_one();
+        }
     }
 }
 
@@ -312,5 +383,53 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn repeated_build_run_drop() {
+        // Regression: building, using and tearing down pools in a loop must
+        // neither leak workers nor wedge on shutdown (each drop joins its
+        // threads promptly even if they are parked).
+        for round in 0..20 {
+            let pool = CorePool::new(2 + round % 3);
+            let hits = AtomicU32::new(0);
+            for _ in 0..5 {
+                pool.run(&|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            assert_eq!(hits.load(Ordering::Relaxed) as usize, 5 * pool.threads());
+        }
+    }
+
+    #[test]
+    fn shutdown_while_workers_parked() {
+        // Regression: an idle pool's workers park on a condvar; dropping
+        // the pool must wake and join them promptly rather than relying on
+        // a timed-wait respin.
+        let pool = CorePool::new(4);
+        pool.run(&|_| {});
+        // Give workers time to run out their bounded spin and park.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        drop(pool);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(2),
+            "drop of a parked pool must not hang"
+        );
+    }
+
+    #[test]
+    fn run_after_workers_parked() {
+        // Regression: dispatch after a long idle gap must wake parked
+        // workers via notification, not depend on them polling.
+        let pool = CorePool::new(3);
+        pool.run(&|_| {});
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let hits = AtomicU32::new(0);
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
     }
 }

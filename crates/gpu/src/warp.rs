@@ -1,8 +1,8 @@
 //! Resident warp state.
 
 use crate::simt::SimtStack;
+use emerald_common::hash::FxHashMap;
 use emerald_isa::{Program, ThreadState};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Identifies what a finished warp belonged to, so the launcher (compute
@@ -36,7 +36,7 @@ pub struct Warp {
     /// Owner bookkeeping tag.
     pub tag: WarpTag,
     /// Registers with in-flight writes → number of outstanding producers.
-    pub pending_regs: HashMap<u8, u32>,
+    pub pending_regs: FxHashMap<u8, u32>,
     /// Outstanding memory tokens (LSU completions we still wait on before
     /// the warp may fully retire).
     pub outstanding_mem: u32,
@@ -71,7 +71,7 @@ impl Warp {
             program,
             params: params.into(),
             tag,
-            pending_regs: HashMap::new(),
+            pending_regs: FxHashMap::default(),
             outstanding_mem: 0,
             at_barrier: false,
             exited: false,

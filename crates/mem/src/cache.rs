@@ -8,9 +8,9 @@
 //! components, which keeps the hierarchy composable.
 
 use crate::req::ReqId;
+use emerald_common::hash::FxHashMap;
 use emerald_common::stats::Ratio;
 use emerald_common::types::{AccessKind, Addr, Cycle};
-use std::collections::HashMap;
 
 /// Write handling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,7 +162,7 @@ impl CacheStats {
 pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Vec<Line>>,
-    mshrs: HashMap<Addr, Mshr>,
+    mshrs: FxHashMap<Addr, Mshr>,
     lru_tick: u64,
     stats: CacheStats,
 }
@@ -181,7 +181,7 @@ impl Cache {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Self {
             sets: vec![vec![Line::EMPTY; cfg.ways]; sets],
-            mshrs: HashMap::new(),
+            mshrs: FxHashMap::default(),
             lru_tick: 0,
             cfg,
             stats: CacheStats::default(),

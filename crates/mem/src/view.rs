@@ -14,8 +14,8 @@
 //! (sequential host code) or against an [`ImageView`] (parallel phase).
 
 use crate::image::{MemImage, SharedMem};
+use emerald_common::hash::FxHashMap;
 use emerald_common::types::Addr;
-use std::collections::HashMap;
 
 /// Which backing store a deferred write targets. The GPU keeps its
 /// shared-scratch space outside the memory image, so store buffers tag
@@ -28,16 +28,27 @@ pub enum WClass {
     Scratch,
 }
 
+/// Below this many buffered writes, read-your-own-writes lookups scan the
+/// write log backwards (newest wins) instead of consulting a hash map.
+/// Typical cycles buffer a handful of stores, where a short linear probe
+/// beats any hashing; heavy cycles (fragment bursts) cross the threshold
+/// once and use the map from then on.
+const SMALL_SCAN: usize = 16;
+
 /// A private write-combining buffer for one core's stores during a
 /// parallel phase.
 ///
-/// Writes are kept both in program order (`writes`, replayed verbatim at
-/// commit so later stores win exactly as they would have sequentially) and
-/// in a coalescing map (`latest`) for O(1) read-your-own-writes lookup.
+/// Writes are kept in program order (`writes`, replayed verbatim at
+/// commit so later stores win exactly as they would have sequentially).
+/// Read-your-own-writes lookups use a small-buffer backward linear scan;
+/// once the log outgrows [`SMALL_SCAN`] entries, a coalescing
+/// [`FxHashMap`] takes over for O(1) lookup. Both the log and the map
+/// keep their capacity across `drain` calls, so steady-state cycles never
+/// reallocate.
 #[derive(Debug, Default)]
 pub struct StoreBuffer {
     writes: Vec<(WClass, Addr, u32)>,
-    latest: HashMap<(WClass, Addr), u32>,
+    latest: FxHashMap<(WClass, Addr), u32>,
     /// Generic side channel for per-core functional counters gathered
     /// during the phase (e.g. z-test pass/fail tallies); merged by
     /// summation at commit, so the total is thread-count-invariant.
@@ -48,13 +59,27 @@ impl StoreBuffer {
     /// Records a deferred write.
     pub fn push(&mut self, class: WClass, addr: Addr, value: u32) {
         self.writes.push((class, addr, value));
-        self.latest.insert((class, addr), value);
+        let n = self.writes.len();
+        if n == SMALL_SCAN + 1 {
+            // The log just outgrew the linear-scan fast path: build the
+            // coalescing map from the whole log (later entries win).
+            for &(c, a, v) in &self.writes {
+                self.latest.insert((c, a), v);
+            }
+        } else if n > SMALL_SCAN + 1 {
+            self.latest.insert((class, addr), value);
+        }
     }
 
     /// Latest value this buffer holds for `addr` in `class`, if any.
     pub fn lookup(&self, class: WClass, addr: Addr) -> Option<u32> {
-        if self.writes.is_empty() {
-            return None;
+        if self.writes.len() <= SMALL_SCAN {
+            return self
+                .writes
+                .iter()
+                .rev()
+                .find(|&&(c, a, _)| c == class && a == addr)
+                .map(|&(_, _, v)| v);
         }
         self.latest.get(&(class, addr)).copied()
     }

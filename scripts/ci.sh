@@ -22,6 +22,12 @@ cargo test --workspace -q
 echo "==> determinism suite at EMERALD_THREADS=4"
 EMERALD_THREADS=4 cargo test --release --test determinism -q
 
+echo "==> determinism suite at EMERALD_THREADS=4, pool forced (EMERALD_PAR_THRESHOLD=0)"
+EMERALD_THREADS=4 EMERALD_PAR_THRESHOLD=0 cargo test --release --test determinism -q
+
+echo "==> determinism suite at EMERALD_THREADS=4, pool disabled (EMERALD_PAR_THRESHOLD=max)"
+EMERALD_THREADS=4 EMERALD_PAR_THRESHOLD=max cargo test --release --test determinism -q
+
 echo "==> conformance suite (32 random programs/draws, differential + metamorphic)"
 EMERALD_CONF_CASES=32 cargo test --release --test conformance -q
 
@@ -36,6 +42,7 @@ grep -q '"wall_ms"' BENCH_frame.json
 grep -q '"cycles_per_sec"' BENCH_frame.json
 grep -q '"speedup_vs_1t"' BENCH_frame.json
 grep -q '"phases"' BENCH_frame.json
+grep -q '"pool_dispatch"' BENCH_frame.json
 cargo test --release --test bench_schema -q
 
 echo "CI gate passed."

@@ -5,7 +5,10 @@
 //! additive. The per-run `phases` object breaks wall time into setup
 //! (scene upload, config construction), simulation proper, and readback/
 //! verification — added to localize the observed >1-thread slowdown
-//! (speedup 0.23–0.74) to the phase that actually regresses.
+//! (speedup 0.23–0.74) to the phase that actually regresses. The
+//! top-level `pool_dispatch` array records the measured cost of an empty
+//! `CorePool::run` per pool width — the fixed handoff overhead the
+//! adaptive dispatcher weighs against useful parallel work.
 
 /// Wall-clock breakdown of one benchmark run, in milliseconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -48,10 +51,22 @@ pub struct Workload {
     pub runs: Vec<Run>,
 }
 
+/// One pool dispatch-latency measurement: the cost of an *empty*
+/// `CorePool::run` (generation publish, worker wake, barrier join) at a
+/// given pool width. This is the per-simulated-cycle overhead a workload
+/// pays whenever the adaptive dispatcher engages the pool.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolDispatch {
+    /// Pool parallelism (caller + workers).
+    pub threads: usize,
+    /// Nanoseconds per empty `run` call, averaged over many iterations.
+    pub ns_per_run: f64,
+}
+
 /// Serializes the report in the `emerald-bench-v1` schema. The output is
 /// strict JSON (validated by `tests/bench_schema.rs` against the in-tree
 /// parser).
-pub fn to_json(workloads: &[Workload], smoke: bool) -> String {
+pub fn to_json(workloads: &[Workload], pool_dispatch: &[PoolDispatch], smoke: bool) -> String {
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -93,6 +108,20 @@ pub fn to_json(workloads: &[Workload], smoke: bool) -> String {
             if wi + 1 < workloads.len() { "," } else { "" }
         ));
     }
+    s.push_str("  ],\n");
+    s.push_str("  \"pool_dispatch\": [\n");
+    for (pi, p) in pool_dispatch.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"threads\": {}, \"ns_per_run\": {:.1} }}{}\n",
+            p.threads,
+            p.ns_per_run,
+            if pi + 1 < pool_dispatch.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -132,7 +161,11 @@ mod tests {
 
     #[test]
     fn report_is_strict_json_with_v1_schema() {
-        let doc = Json::parse(&to_json(&sample(), true)).expect("valid JSON");
+        let dispatch = [PoolDispatch {
+            threads: 2,
+            ns_per_run: 850.0,
+        }];
+        let doc = Json::parse(&to_json(&sample(), &dispatch, true)).expect("valid JSON");
         assert_eq!(
             doc.get("schema").unwrap().as_str().unwrap(),
             "emerald-bench-v1"
@@ -146,6 +179,21 @@ mod tests {
         assert_eq!(runs[1].get("speedup_vs_1t").unwrap().as_num().unwrap(), 0.5);
         let phases = runs[0].get("phases").unwrap();
         assert_eq!(phases.get("sim_ms").unwrap().as_num().unwrap(), 7.0);
+        let pd = doc.get("pool_dispatch").unwrap().as_arr().unwrap();
+        assert_eq!(pd.len(), 1);
+        assert_eq!(pd[0].get("threads").unwrap().as_num().unwrap(), 2.0);
+        assert_eq!(pd[0].get("ns_per_run").unwrap().as_num().unwrap(), 850.0);
+    }
+
+    #[test]
+    fn empty_pool_dispatch_is_valid_json() {
+        let doc = Json::parse(&to_json(&sample(), &[], true)).expect("valid JSON");
+        assert!(doc
+            .get("pool_dispatch")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

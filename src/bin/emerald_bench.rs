@@ -9,8 +9,9 @@
 //! every workload for CI smoke checks; timings are then meaningless but
 //! the JSON shape (and the cross-thread determinism checks) still hold.
 
-use emerald::bench_report::{to_json, PhaseTimes, Run, Workload};
+use emerald::bench_report::{to_json, PhaseTimes, PoolDispatch, Run, Workload};
 use emerald::core::session::SceneBinding;
+use emerald::gpu::CorePool;
 use emerald::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
@@ -30,7 +31,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_frame.json".to_string());
-    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let thread_counts: &[usize] = &[1, 2, 4];
 
     let mut workloads = Vec::new();
 
@@ -85,9 +86,35 @@ fn main() {
         runs,
     });
 
-    let json = to_json(&workloads, smoke);
+    // 4. Pool dispatch-latency microbenchmark: the fixed cost of one
+    // empty `CorePool::run` (publish, wake, join) per pool width.
+    let mut pool_dispatch = Vec::new();
+    for width in [2usize, 4] {
+        let ns = bench_pool_dispatch(width, if smoke { 2_000 } else { 20_000 });
+        eprintln!("pool_dispatch t={width}: {ns:.0} ns/run");
+        pool_dispatch.push(PoolDispatch {
+            threads: width,
+            ns_per_run: ns,
+        });
+    }
+
+    let json = to_json(&workloads, &pool_dispatch, smoke);
     std::fs::write(&out_path, json).expect("write bench output");
     eprintln!("wrote {out_path}");
+}
+
+/// Nanoseconds per empty `CorePool::run` at the given width, averaged
+/// over `iters` calls after a short warmup.
+fn bench_pool_dispatch(width: usize, iters: u32) -> f64 {
+    let pool = CorePool::new(width);
+    for _ in 0..100 {
+        pool.run(&|_| {});
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        pool.run(&|_| {});
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / iters as f64
 }
 
 fn bench_render(

@@ -3,7 +3,7 @@
 //! `BENCH_frame.json` must parse with the in-tree strict JSON parser and
 //! carry the fields downstream tooling greps for.
 
-use emerald::bench_report::{to_json, PhaseTimes, Run, Workload};
+use emerald::bench_report::{to_json, PhaseTimes, PoolDispatch, Run, Workload};
 use emerald::common::json::Json;
 
 fn assert_v1_shape(doc: &Json, require_phases: bool) {
@@ -57,6 +57,16 @@ fn assert_v1_shape(doc: &Json, require_phases: bool) {
             assert!((base_speedup - 1.0).abs() < 1e-9);
         }
     }
+    // Dispatch-latency microbenchmark rows (may be empty, but the array
+    // itself is part of the v1 shape since the adaptive-dispatch work).
+    let dispatch = doc
+        .get("pool_dispatch")
+        .and_then(|d| d.as_arr())
+        .expect("pool_dispatch array");
+    for d in dispatch {
+        assert!(d.get("threads").and_then(|v| v.as_num()).is_some());
+        assert!(d.get("ns_per_run").and_then(|v| v.as_num()).is_some());
+    }
 }
 
 #[test]
@@ -97,7 +107,17 @@ fn synthetic_report_matches_schema() {
             }],
         },
     ];
-    let text = to_json(&workloads, true);
+    let dispatch = [
+        PoolDispatch {
+            threads: 2,
+            ns_per_run: 900.0,
+        },
+        PoolDispatch {
+            threads: 4,
+            ns_per_run: 2100.0,
+        },
+    ];
+    let text = to_json(&workloads, &dispatch, true);
     let doc = Json::parse(&text).expect("report parses as strict JSON");
     assert_v1_shape(&doc, true);
 

@@ -6,15 +6,19 @@ use emerald::core::session::SceneBinding;
 use emerald::prelude::*;
 
 /// Renders one canonical frame with the given worker-thread count and
-/// returns everything a determinism check cares about: cycle count,
-/// framebuffer contents, instruction count, retired warps, and the full
-/// stats-registry snapshot as JSON.
-fn render_with_threads(threads: usize) -> (u64, Vec<u32>, u64, u64, String) {
+/// pool-engagement threshold, returning everything a determinism check
+/// cares about: cycle count, framebuffer contents, instruction count,
+/// retired warps, and the full stats-registry snapshot as JSON.
+fn render_with_dispatch(
+    threads: usize,
+    parallel_threshold: usize,
+) -> (u64, Vec<u32>, u64, u64, String) {
     let mem = SharedMem::with_capacity(1 << 26);
     let rt = RenderTarget::alloc(&mem, 64, 48);
     rt.clear(&mem, [0.0; 4], 1.0);
     let mut cfg = GpuConfig::tiny();
     cfg.threads = threads;
+    cfg.parallel_threshold = parallel_threshold;
     let mut r = GpuRenderer::new(cfg, GfxConfig::case_study_2(), mem.clone(), rt);
     let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
         2,
@@ -37,6 +41,12 @@ fn render_with_threads(threads: usize) -> (u64, Vec<u32>, u64, u64, String) {
         retired,
         reg.to_json(),
     )
+}
+
+/// Threshold inherited from `EMERALD_PAR_THRESHOLD` so `scripts/ci.sh`
+/// can re-run the whole suite with the pool forced on or off.
+fn render_with_threads(threads: usize) -> (u64, Vec<u32>, u64, u64, String) {
+    render_with_dispatch(threads, GpuConfig::parallel_threshold_from_env())
 }
 
 fn render_once() -> (u64, Vec<u32>, u64) {
@@ -68,6 +78,27 @@ fn render_is_identical_across_thread_counts() {
         assert_eq!(w1, w, "retired warps differ at {threads} threads");
         assert_eq!(img1, img, "framebuffer differs at {threads} threads");
         assert_eq!(reg1, reg, "registry snapshot differs at {threads} threads");
+    }
+}
+
+/// Companion to the thread-count invariance test: the *dispatch policy*
+/// (pool forced on every non-empty cycle vs. never engaged, at several
+/// widths) must be equally invisible — same framebuffer, same counters,
+/// same registry snapshot.
+#[test]
+fn render_is_identical_across_dispatch_policies() {
+    let (c1, img1, i1, w1, reg1) = render_with_dispatch(1, 2);
+    assert!(w1 > 0, "reference run retired no warps");
+    for (threads, thr) in [(2usize, 0usize), (4, 0), (2, usize::MAX), (4, usize::MAX)] {
+        let (c, img, i, w, reg) = render_with_dispatch(threads, thr);
+        assert_eq!(c1, c, "cycle count differs at t={threads} thr={thr}");
+        assert_eq!(i1, i, "instruction count differs at t={threads} thr={thr}");
+        assert_eq!(w1, w, "retired warps differ at t={threads} thr={thr}");
+        assert_eq!(img1, img, "framebuffer differs at t={threads} thr={thr}");
+        assert_eq!(
+            reg1, reg,
+            "registry snapshot differs at t={threads} thr={thr}"
+        );
     }
 }
 
