@@ -485,15 +485,18 @@ impl GpuRenderer {
 
     /// Advances the renderer and GPU one cycle.
     pub fn cycle(&mut self, now: Cycle, port: &mut dyn MemPort) {
+        let mut clk = emerald_obs::prof::PhaseClock::start();
         // Start the next draw if idle.
         if self.cur.is_none() {
             if let Some((dc, wt)) = self.queue.pop_front() {
                 self.start_draw(dc, wt, now);
             }
         }
+        clk.lap(emerald_obs::prof::HostPhase::GfxPipe);
 
-        // 1. GPU executes shader warps.
+        // 1. GPU executes shader warps (self-attributing; don't double-count).
         self.gpu.cycle(now, &mut self.ctx, port);
+        clk.skip();
 
         // 2. Completed warps feed the pipeline.
         for (core, payload) in self.gpu.drain_external_finished() {
@@ -522,6 +525,7 @@ impl GpuRenderer {
         }
 
         let Some(ds) = self.cur.as_ref() else {
+            clk.lap(emerald_obs::prof::HostPhase::GfxPipe);
             return;
         };
         let (width, height) = (self.rt.width, self.rt.height);
@@ -635,6 +639,7 @@ impl GpuRenderer {
                 self.draw_times.push(now.saturating_sub(ds.started_at));
             }
         }
+        clk.lap(emerald_obs::prof::HostPhase::GfxPipe);
     }
 
     /// Advances one cycle using the internal monotonic clock (diagnostic
@@ -672,7 +677,9 @@ impl GpuRenderer {
     pub fn run_frame(&mut self, port: &mut dyn MemPort, max_cycles: Cycle) -> FrameStats {
         self.begin_frame();
         let start = self.clock;
+        let prof_loop = emerald_obs::prof::loop_enter();
         while !self.is_idle() {
+            emerald_obs::prof::tick();
             self.cycle(self.clock, port);
             self.clock += 1;
             assert!(
@@ -680,6 +687,7 @@ impl GpuRenderer {
                 "frame did not drain in {max_cycles} cycles"
             );
         }
+        emerald_obs::prof::loop_exit(prof_loop);
         emerald_obs::trace::span(
             emerald_obs::TraceCat::Frame,
             "render_frame",

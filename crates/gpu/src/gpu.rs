@@ -244,6 +244,22 @@ impl Gpu {
         std::mem::take(&mut self.finished_external)
     }
 
+    /// True when *nothing at all* is in flight this cycle: no active
+    /// core, no queued interconnect/L2 traffic, no outstanding DRAM read.
+    /// Unlike [`Gpu::is_idle`] this is O(1) (it trusts the active list
+    /// rebuilt by the last `cycle`) and ignores undispatched kernels, so
+    /// the self-profiler can call it every cycle to count the skippable
+    /// cycles an event-driven scheduler could fast-forward.
+    pub fn is_quiescent(&self) -> bool {
+        self.active.is_empty()
+            && self.core_to_l2.is_empty()
+            && self.l2_to_core.is_empty()
+            && self.fill_backlog.is_empty()
+            && self.to_mem.is_empty()
+            && self.dram_inflight == 0
+            && self.l2.queued() == 0
+    }
+
     /// True when every core, link and kernel is drained.
     pub fn is_idle(&self) -> bool {
         self.cores.iter().all(|c| c.is_idle())
@@ -416,9 +432,15 @@ impl Gpu {
     /// it (misses, fills, finished warps) — in core-index order on the
     /// calling thread. See `crate::phase` for why this is deterministic.
     pub fn cycle<C: CycleCtx>(&mut self, now: Cycle, ctx: &mut C, port: &mut dyn MemPort) {
+        let mut clk = emerald_obs::prof::PhaseClock::start();
         port.tick(now);
+        clk.lap(emerald_obs::prof::HostPhase::GpuDram);
         self.dispatch_ctas();
         self.collect_active();
+        if emerald_obs::prof::enabled() {
+            emerald_obs::prof::record_gpu_cycle(self.active.len(), self.is_quiescent());
+        }
+        clk.lap(emerald_obs::prof::HostPhase::GpuDispatch);
 
         // 1. Active cores execute (parallel phase), then their buffered
         // stores are committed in core-index order. A cycle with no active
@@ -427,7 +449,9 @@ impl Gpu {
         // `is_active` guarantees it).
         if !self.active.is_empty() {
             self.core_phase(now, &*ctx);
+            clk.lap(emerald_obs::prof::HostPhase::GpuExecute);
             ctx.commit(&mut self.store_bufs);
+            clk.lap(emerald_obs::prof::HostPhase::GpuCommit);
         }
 
         // 2. Core misses → interconnect → L2 banks.
@@ -463,6 +487,7 @@ impl Gpu {
         for (line, kind) in out.to_mem {
             self.to_mem.push_back((line, kind));
         }
+        clk.lap(emerald_obs::prof::HostPhase::GpuL2);
 
         // 4. L2 ↔ DRAM. Read ids are slab slots; write ids come from a
         // plain counter and are never matched against the slab.
@@ -528,6 +553,7 @@ impl Gpu {
         while let Some((target, line)) = self.l2_to_core.pop(now) {
             self.cores[target.core].fill_l1(target.surface, line, now);
         }
+        clk.lap(emerald_obs::prof::HostPhase::GpuDram);
 
         // 6. Completed warps.
         for core in &mut self.cores {
@@ -543,6 +569,7 @@ impl Gpu {
                 }
             }
         }
+        clk.lap(emerald_obs::prof::HostPhase::GpuCommit);
     }
 
     /// One-line internal state summary (diagnostics).
@@ -574,7 +601,9 @@ impl Gpu {
         port: &mut dyn MemPort,
     ) -> Cycle {
         let mut now = start;
+        let prof_loop = emerald_obs::prof::loop_enter();
         while !self.is_idle() {
+            emerald_obs::prof::tick();
             self.cycle(now, ctx, port);
             now += 1;
             assert!(
@@ -582,6 +611,7 @@ impl Gpu {
                 "GPU did not drain within {max_cycles} cycles"
             );
         }
+        emerald_obs::prof::loop_exit(prof_loop);
         now - start
     }
 }

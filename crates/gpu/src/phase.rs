@@ -217,7 +217,16 @@ impl CorePool {
             shared.generation.store(st.generation, Ordering::Release);
             shared.start.notify_all();
         }
-        task(0);
+        // Shard 0 runs on the caller; when the self-profiler is on, its
+        // busy time is recorded like any worker shard's.
+        if emerald_obs::prof::enabled() {
+            let t0 = std::time::Instant::now();
+            task(0);
+            emerald_obs::prof::pool_add_busy(0, t0.elapsed().as_nanos() as u64);
+            emerald_obs::prof::pool_record_run(workers + 1);
+        } else {
+            task(0);
+        }
         // Wait for the workers: brief spin (they usually finish within
         // microseconds of shard 0), then park on `finish`.
         let mut spins = 0u32;
@@ -295,8 +304,18 @@ fn worker_loop(shared: &PoolShared, shard: usize) {
             }
         }
         let task = unsafe { (*shared.task.get()).expect("task set before generation bump") };
+        // Busy-time accounting only times the task itself, never the wait
+        // for the next phase — utilization is work over wall, not liveness.
+        let t0 = if emerald_obs::prof::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         if catch_unwind(AssertUnwindSafe(|| task(shard))).is_err() {
             shared.poisoned.store(true, Ordering::Relaxed);
+        }
+        if let Some(t0) = t0 {
+            emerald_obs::prof::pool_add_busy(shard, t0.elapsed().as_nanos() as u64);
         }
         let mut st = shared.state.lock().unwrap();
         st.done += 1;

@@ -399,6 +399,14 @@ impl MemorySystem {
         self.channels.iter().all(|c| c.is_idle())
     }
 
+    /// Requests waiting in channel scheduling queues, across channels.
+    /// Zero means every remaining in-flight access is already in service
+    /// with a precomputed completion cycle — i.e. the DRAM model has no
+    /// per-cycle scheduling decisions left, only known-time events.
+    pub fn queued(&self) -> usize {
+        self.channels.iter().map(|c| c.queue_len()).sum()
+    }
+
     /// Number of channels.
     pub fn num_channels(&self) -> usize {
         self.channels.len()

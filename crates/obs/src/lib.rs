@@ -14,6 +14,10 @@
 //! * [`timeline`] — windowed time-series sampling: fixed-window
 //!   accumulators (the paper's bandwidth-vs-time figures) and a registry
 //!   sampler that produces a timeline for any instrument.
+//! * [`prof`] — host-side self-profiling: wall-clock attribution of the
+//!   simulator's own hot loop (GPU/SoC phases), worker-pool utilization
+//!   and skip-opportunity accounting. Off by default (`EMERALD_PROFILE`),
+//!   zero-cost when disabled, and forbidden from touching simulated state.
 //!
 //! The hot simulation loop pays nothing for any of this until a sink is
 //! enabled: components keep their plain local stats structs and are *pulled*
@@ -36,10 +40,12 @@
 
 #![warn(missing_docs)]
 
+pub mod prof;
 pub mod registry;
 pub mod timeline;
 pub mod trace;
 
+pub use prof::{HostPhase, HostProfile};
 pub use registry::{Registry, Snapshot, Value};
 pub use timeline::{Timeline, WindowedSampler};
 pub use trace::{TraceCat, TraceEvent};

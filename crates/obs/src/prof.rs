@@ -1,0 +1,747 @@
+//! Host-side self-profiling: where does the *simulator's* wall-clock go?
+//!
+//! The registry/trace/timeline pillars observe the simulated hardware;
+//! this module observes the simulation loop itself. It answers three
+//! questions the bench report alone cannot:
+//!
+//! 1. **Phase attribution** — how much host time `Gpu::cycle` spends in
+//!    dispatch / execute / commit / L2 / DRAM, and the SoC tick in CPU,
+//!    display and memory-system work ([`HostPhase`]).
+//! 2. **Pool utilization** — how busy each `CorePool` shard is, and how
+//!    imbalanced the shards are ([`HostProfile::pool_busy_ns`]).
+//! 3. **Skip opportunity** — how many cycles had no GPU work in flight,
+//!    no display DMA pending and no memory request awaiting a scheduling
+//!    decision, i.e. the cycles an event-driven scheduler could
+//!    fast-forward to the next known-time event (ROADMAP item 1).
+//!
+//! # Design constraints
+//!
+//! * **Zero-cost when disabled.** Profiling is off by default and gated
+//!   on [`enabled`] (one relaxed atomic load). No `Instant::now` call is
+//!   ever made on the hot path while disabled.
+//! * **Never touches simulated state.** The profiler only *reads* the
+//!   simulation and the host clock; bit-identity of results with
+//!   profiling on vs. off is enforced by `tests/determinism.rs`.
+//! * **Cheap when enabled.** Per-cycle work is counter arithmetic only;
+//!   wall-clock timestamps are taken on a strided *sample* of cycles
+//!   (1 in [`SAMPLE_STRIDE`]) and extrapolated, which keeps the measured
+//!   overhead well under the 5 % budget `emerald_bench` asserts.
+//!
+//! Counters and phase accumulators are thread-local to the simulation
+//! thread; only the pool-shard busy counters are process-global atomics
+//! (worker threads write them). [`take`] drains everything into a
+//! [`HostProfile`] snapshot.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Host phases the simulation loop is attributed to. GPU phases are the
+/// sections of `Gpu::cycle`; `GfxPipe` is the renderer's fixed-function
+/// pipeline work outside the GPU; SoC phases are the sections of the SoC
+/// tick outside the renderer. The sets are disjoint by construction, so
+/// summing every phase yields total attributed loop time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum HostPhase {
+    /// CTA dispatch and active-set rebuild in `Gpu::cycle`.
+    GpuDispatch = 0,
+    /// The (possibly parallel) core-execution phase, including freeze.
+    GpuExecute,
+    /// Store-buffer commit plus warp retirement.
+    GpuCommit,
+    /// Interconnect and L2 bank service.
+    GpuL2,
+    /// DRAM port traffic: tick, request issue, response fills.
+    GpuDram,
+    /// Graphics pipeline outside the GPU (VPO, PMRB, raster, TC, warps).
+    GfxPipe,
+    /// SoC memory system tick and response routing.
+    SocMem,
+    /// SoC display-controller scanout DMA.
+    SocDisplay,
+    /// SoC CPU traffic models.
+    SocCpu,
+    /// SoC glue: DASH feedback, frame-barrier checks, diagnostics.
+    SocOther,
+}
+
+/// Number of [`HostPhase`] variants.
+pub const PHASE_COUNT: usize = 10;
+
+/// Number of active-set occupancy histogram buckets (see [`active_bucket`]).
+pub const ACTIVE_BUCKETS: usize = 9;
+
+/// 1 in `SAMPLE_STRIDE` cycles is wall-clock timed; phase totals are
+/// extrapolated by the realized sampling ratio. Prime, so the sample grid
+/// cannot alias against the model's power-of-two periodicities.
+pub const SAMPLE_STRIDE: u64 = 31;
+
+/// First sampled tick. Mid-stride rather than 1: the first simulated
+/// cycle is disproportionately expensive (cold host caches, the initial
+/// CTA-dispatch burst), and sampling it would extrapolate that cost
+/// across the whole stride — a large bias on short runs.
+const FIRST_SAMPLE: u64 = SAMPLE_STRIDE / 2 + 1;
+
+impl HostPhase {
+    /// Dotted phase name used in reports and trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            HostPhase::GpuDispatch => "gpu.dispatch",
+            HostPhase::GpuExecute => "gpu.execute",
+            HostPhase::GpuCommit => "gpu.commit",
+            HostPhase::GpuL2 => "gpu.l2",
+            HostPhase::GpuDram => "gpu.dram",
+            HostPhase::GfxPipe => "gfx.pipe",
+            HostPhase::SocMem => "soc.mem",
+            HostPhase::SocDisplay => "soc.display",
+            HostPhase::SocCpu => "soc.cpu",
+            HostPhase::SocOther => "soc.other",
+        }
+    }
+
+    /// Every phase, in discriminant order.
+    pub fn all() -> [HostPhase; PHASE_COUNT] {
+        [
+            HostPhase::GpuDispatch,
+            HostPhase::GpuExecute,
+            HostPhase::GpuCommit,
+            HostPhase::GpuL2,
+            HostPhase::GpuDram,
+            HostPhase::GfxPipe,
+            HostPhase::SocMem,
+            HostPhase::SocDisplay,
+            HostPhase::SocCpu,
+            HostPhase::SocOther,
+        ]
+    }
+}
+
+/// Histogram bucket for an active-set size: exact 0–3, then power-of-two
+/// ranges 4–7, 8–15, 16–31, 32–63, 64+.
+pub fn active_bucket(n: usize) -> usize {
+    match n {
+        0..=3 => n,
+        4..=7 => 4,
+        8..=15 => 5,
+        16..=31 => 6,
+        32..=63 => 7,
+        _ => 8,
+    }
+}
+
+/// Human-readable label of a histogram bucket.
+pub fn active_bucket_label(bucket: usize) -> &'static str {
+    ["0", "1", "2", "3", "4-7", "8-15", "16-31", "32-63", "64+"][bucket]
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Calibrated cost of one `Instant::now` call, in nanoseconds. Every
+/// [`PhaseClock::lap`] interval includes the acquisition cost of its own
+/// closing timestamp; left uncorrected, that cost is extrapolated by the
+/// sampling stride and inflates phase sums by tens of percent on cheap
+/// cycles. [`set_enabled`] measures it once per enable and `lap`
+/// subtracts it (saturating) from every interval.
+static TIMESTAMP_COST_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Measures the average cost of an `Instant::now` call. Timestamps are
+/// interleaved with a little scalar work — back-to-back calls run from a
+/// hot branch predictor and measure several ns below the in-loop cost
+/// the correction needs — and the work-only baseline is subtracted out.
+fn calibrate_timestamp_ns() -> u64 {
+    use std::hint::black_box;
+    const N: u64 = 4096;
+    #[inline(always)]
+    fn churn(mut x: u64) -> u64 {
+        for _ in 0..8 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        x
+    }
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let t0 = Instant::now();
+    let mut last = t0;
+    for _ in 0..N {
+        x = churn(black_box(x));
+        last = black_box(Instant::now());
+    }
+    let with_ts = last.duration_since(t0).as_nanos() as u64;
+    let mut y = 0x9E37_79B9_7F4A_7C15u64;
+    let t1 = Instant::now();
+    for _ in 0..N {
+        y = churn(black_box(y));
+    }
+    let work_only = t1.elapsed().as_nanos() as u64;
+    black_box((x, y));
+    with_ts.saturating_sub(work_only) / N
+}
+
+/// Pool-shard busy counters are process-global (worker threads write
+/// them); widths beyond this are clamped and the tail shards unsampled.
+const MAX_POOL_SHARDS: usize = 64;
+static POOL_BUSY: [AtomicU64; MAX_POOL_SHARDS] = [const { AtomicU64::new(0) }; MAX_POOL_SHARDS];
+static POOL_RUNS: AtomicU64 = AtomicU64::new(0);
+static POOL_WIDTH: AtomicUsize = AtomicUsize::new(0);
+
+/// Thread-local accumulators for the simulation thread.
+#[derive(Debug, Clone)]
+struct Accum {
+    ticks: u64,
+    sampled: u64,
+    next_sample: u64,
+    loop_ns: u64,
+    phase_ns: [u64; PHASE_COUNT],
+    gpu_cycles: u64,
+    gpu_zero_active: u64,
+    gpu_skippable: u64,
+    soc_cycles: u64,
+    soc_skippable: u64,
+    active_hist: [u64; ACTIVE_BUCKETS],
+}
+
+impl Accum {
+    const fn new() -> Self {
+        Self {
+            ticks: 0,
+            sampled: 0,
+            next_sample: FIRST_SAMPLE,
+            loop_ns: 0,
+            phase_ns: [0; PHASE_COUNT],
+            gpu_cycles: 0,
+            gpu_zero_active: 0,
+            gpu_skippable: 0,
+            soc_cycles: 0,
+            soc_skippable: 0,
+            active_hist: [0; ACTIVE_BUCKETS],
+        }
+    }
+}
+
+thread_local! {
+    /// Whether the current top-level cycle is wall-clock sampled.
+    static SAMPLING: Cell<bool> = const { Cell::new(false) };
+    /// Whether an outermost-loop measurement is open (see [`loop_enter`]).
+    static IN_LOOP: Cell<bool> = const { Cell::new(false) };
+    static ACC: RefCell<Accum> = const { RefCell::new(Accum::new()) };
+}
+
+/// Whether profiling is globally enabled. One relaxed atomic load — this
+/// is the whole cost of a disabled emit site.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns profiling on or off (tests and harnesses; binaries usually use
+/// [`init_from_env`]).
+pub fn set_enabled(on: bool) {
+    if on {
+        TIMESTAMP_COST_NS.store(calibrate_timestamp_ns(), Ordering::Relaxed);
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+    if !on {
+        SAMPLING.with(|s| s.set(false));
+    }
+}
+
+/// Enables profiling when `EMERALD_PROFILE` is set to `1`/`true`/`on`
+/// (case-insensitive); returns the resulting state. Never *disables*, so
+/// a harness that called [`set_enabled`] first keeps its setting.
+pub fn init_from_env() -> bool {
+    if let Some(v) = std::env::var_os("EMERALD_PROFILE") {
+        let v = v.to_string_lossy().to_ascii_lowercase();
+        if v == "1" || v == "true" || v == "on" {
+            set_enabled(true);
+        }
+    }
+    enabled()
+}
+
+/// Marks the start of one top-level simulation cycle: bumps the tick
+/// counter and decides whether this cycle is wall-clock sampled. Called
+/// by the outermost loop only (`Gpu::run_to_idle`,
+/// `GpuRenderer::run_frame`, `Soc::run_frame`); nested components just
+/// read the decision via [`PhaseClock`].
+#[inline]
+pub fn tick() {
+    if !enabled() {
+        SAMPLING.with(|s| s.set(false));
+        return;
+    }
+    let sample = ACC.with(|a| {
+        let a = &mut *a.borrow_mut();
+        a.ticks += 1;
+        if a.ticks >= a.next_sample {
+            a.next_sample = a.ticks + SAMPLE_STRIDE;
+            a.sampled += 1;
+            true
+        } else {
+            false
+        }
+    });
+    SAMPLING.with(|s| s.set(sample));
+}
+
+/// Whether the current cycle is wall-clock sampled.
+#[inline]
+pub fn sampling() -> bool {
+    SAMPLING.with(|s| s.get())
+}
+
+/// Token from [`loop_enter`], closed by [`loop_exit`].
+#[must_use]
+#[derive(Debug)]
+pub struct LoopGuard(Option<Instant>);
+
+/// Marks entry into an outermost simulation loop (the same sites that
+/// call [`tick`]). The elapsed time until the matching [`loop_exit`] is
+/// the *exact* wall-clock total the sampled phase sums are rescaled to
+/// in [`take`]: sampling then only determines phase proportions, so the
+/// reported breakdown sums to measured loop time instead of a
+/// stride-extrapolated estimate (which inherits observer and scheduling
+/// noise at full stride amplification). Costs two timestamps per loop.
+/// Disabled or nested calls return an inert guard.
+#[inline]
+pub fn loop_enter() -> LoopGuard {
+    if !enabled() || IN_LOOP.with(|l| l.get()) {
+        return LoopGuard(None);
+    }
+    IN_LOOP.with(|l| l.set(true));
+    LoopGuard(Some(Instant::now()))
+}
+
+/// Closes an outermost-loop measurement opened by [`loop_enter`].
+#[inline]
+pub fn loop_exit(guard: LoopGuard) {
+    if let Some(t0) = guard.0 {
+        let ns = t0.elapsed().as_nanos() as u64;
+        IN_LOOP.with(|l| l.set(false));
+        ACC.with(|a| a.borrow_mut().loop_ns += ns);
+    }
+}
+
+/// Adds raw sampled nanoseconds to a phase (extrapolation happens in
+/// [`take`]).
+#[inline]
+fn add_phase_ns(phase: HostPhase, ns: u64) {
+    ACC.with(|a| a.borrow_mut().phase_ns[phase as usize] += ns);
+}
+
+/// Per-cycle GPU accounting: active-set occupancy histogram, zero-active
+/// count and GPU-local skip opportunity (quiescent: nothing in flight
+/// anywhere in the GPU). Caller must check [`enabled`] first.
+#[inline]
+pub fn record_gpu_cycle(active_cores: usize, quiescent: bool) {
+    ACC.with(|a| {
+        let a = &mut *a.borrow_mut();
+        a.gpu_cycles += 1;
+        a.active_hist[active_bucket(active_cores)] += 1;
+        if active_cores == 0 {
+            a.gpu_zero_active += 1;
+        }
+        if quiescent {
+            a.gpu_skippable += 1;
+        }
+    });
+}
+
+/// Per-cycle SoC accounting: a cycle is *skippable* when the GPU is
+/// quiescent, the display has nothing pending, and no memory request is
+/// queued for a scheduling decision. In-service DRAM accesses complete
+/// at precomputed cycles and CPU script phases are analytically
+/// fast-forwardable, so neither pins a cycle — an event-driven scheduler
+/// could jump to the next known-time event. Caller must check
+/// [`enabled`] first.
+#[inline]
+pub fn record_soc_cycle(skippable: bool) {
+    ACC.with(|a| {
+        let a = &mut *a.borrow_mut();
+        a.soc_cycles += 1;
+        if skippable {
+            a.soc_skippable += 1;
+        }
+    });
+}
+
+/// Adds busy nanoseconds for a pool shard (worker threads call this; the
+/// counters are global atomics, not thread-locals).
+#[inline]
+pub fn pool_add_busy(shard: usize, ns: u64) {
+    if shard < MAX_POOL_SHARDS {
+        POOL_BUSY[shard].fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+/// Records one pool dispatch at the given width.
+#[inline]
+pub fn pool_record_run(width: usize) {
+    POOL_RUNS.fetch_add(1, Ordering::Relaxed);
+    POOL_WIDTH.fetch_max(width, Ordering::Relaxed);
+}
+
+/// A lap timer over the phases of one sampled cycle. `start` takes a
+/// timestamp only on sampled cycles; on unsampled cycles (or with
+/// profiling disabled) every method is a no-op branch. `lap` attributes
+/// the time since the previous lap (or start) to a phase and re-arms;
+/// `skip` re-arms without attributing — used around nested components
+/// that time themselves.
+#[derive(Debug)]
+pub struct PhaseClock(Option<Instant>);
+
+impl PhaseClock {
+    /// Starts a clock; takes a timestamp only if this cycle is sampled.
+    #[inline]
+    pub fn start() -> Self {
+        PhaseClock(if sampling() {
+            Some(Instant::now())
+        } else {
+            None
+        })
+    }
+
+    /// Attributes time since the last lap to `phase` and re-arms. The
+    /// calibrated cost of the closing timestamp itself is subtracted so
+    /// observer overhead is not attributed (and then extrapolated) as
+    /// simulation work.
+    #[inline]
+    pub fn lap(&mut self, phase: HostPhase) {
+        if let Some(t) = &mut self.0 {
+            let now = Instant::now();
+            let raw = now.duration_since(*t).as_nanos() as u64;
+            let cal = TIMESTAMP_COST_NS.load(Ordering::Relaxed);
+            add_phase_ns(phase, raw.saturating_sub(cal));
+            *t = now;
+        }
+    }
+
+    /// Re-arms without attributing the elapsed time to any phase.
+    #[inline]
+    pub fn skip(&mut self) {
+        if let Some(t) = &mut self.0 {
+            *t = Instant::now();
+        }
+    }
+}
+
+/// A drained profile snapshot. Phase times are already extrapolated from
+/// the sampled subset to the full tick count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostProfile {
+    /// Top-level simulation cycles profiled.
+    pub ticks: u64,
+    /// Cycles that were wall-clock sampled.
+    pub sampled: u64,
+    /// Exact wall time inside the outermost simulation loops
+    /// ([`loop_enter`]/[`loop_exit`] brackets).
+    pub loop_ns: u64,
+    /// Per-phase nanoseconds, indexed by `HostPhase as usize`. When a
+    /// loop total was measured, sampled sums are rescaled so they sum to
+    /// it; otherwise they are stride-extrapolated.
+    pub phase_ns: [u64; PHASE_COUNT],
+    /// `Gpu::cycle` invocations observed.
+    pub gpu_cycles: u64,
+    /// GPU cycles with an empty active set.
+    pub gpu_zero_active: u64,
+    /// GPU cycles with nothing in flight anywhere in the GPU.
+    pub gpu_skippable: u64,
+    /// SoC tick-loop cycles observed.
+    pub soc_cycles: u64,
+    /// SoC cycles with no GPU work, display DMA, or queued memory
+    /// request — only known-time events remain (see [`record_soc_cycle`]).
+    pub soc_skippable: u64,
+    /// Active-set occupancy histogram (see [`active_bucket`]).
+    pub active_hist: [u64; ACTIVE_BUCKETS],
+    /// Widest pool observed (0 when the pool never engaged).
+    pub pool_threads: usize,
+    /// Pool dispatches observed.
+    pub pool_runs: u64,
+    /// Per-shard busy nanoseconds, `pool_threads` entries.
+    pub pool_busy_ns: Vec<u64>,
+}
+
+impl HostProfile {
+    /// Sum of all extrapolated phase times.
+    pub fn total_phase_ns(&self) -> u64 {
+        self.phase_ns.iter().sum()
+    }
+
+    /// Fraction of GPU cycles that were skippable (0 when none observed).
+    pub fn gpu_skippable_frac(&self) -> f64 {
+        if self.gpu_cycles == 0 {
+            0.0
+        } else {
+            self.gpu_skippable as f64 / self.gpu_cycles as f64
+        }
+    }
+
+    /// Fraction of SoC cycles that were skippable (0 when none observed).
+    pub fn soc_skippable_frac(&self) -> f64 {
+        if self.soc_cycles == 0 {
+            0.0
+        } else {
+            self.soc_skippable as f64 / self.soc_cycles as f64
+        }
+    }
+
+    /// Shard imbalance: max over mean of per-shard busy time (1.0 =
+    /// perfectly balanced; 0 when the pool never engaged).
+    pub fn pool_imbalance(&self) -> f64 {
+        let busy: Vec<u64> = self.pool_busy_ns.clone();
+        if busy.is_empty() || busy.iter().all(|&b| b == 0) {
+            return 0.0;
+        }
+        let max = *busy.iter().max().expect("non-empty") as f64;
+        let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
+        max / mean
+    }
+
+    /// Lays the extrapolated phases end-to-end as host-thread spans on the
+    /// trace ring (category [`crate::TraceCat::Host`], one microsecond of
+    /// trace time per microsecond of host time). No-op unless the Host
+    /// category is enabled.
+    pub fn emit_trace(&self, track: u32) {
+        let mut cursor = 0u64;
+        for p in HostPhase::all() {
+            let ns = self.phase_ns[p as usize];
+            if ns == 0 {
+                continue;
+            }
+            let us = (ns / 1_000).max(1);
+            crate::trace::span_args(
+                crate::TraceCat::Host,
+                p.name(),
+                track,
+                cursor,
+                cursor + us,
+                &[("ns", ns)],
+            );
+            cursor += us;
+        }
+    }
+}
+
+/// Drains all accumulators (thread-local and pool atomics) into a
+/// snapshot and resets them. Phase times are rescaled so they sum to the
+/// measured loop total when one exists (sampling sets proportions, the
+/// loop brackets set the denominator); without one they are
+/// extrapolated by `ticks / sampled`.
+pub fn take() -> HostProfile {
+    let acc = ACC.with(|a| std::mem::replace(&mut *a.borrow_mut(), Accum::new()));
+    SAMPLING.with(|s| s.set(false));
+    let raw_sum: u64 = acc.phase_ns.iter().sum();
+    let scale = if acc.loop_ns > 0 && raw_sum > 0 {
+        acc.loop_ns as f64 / raw_sum as f64
+    } else if acc.sampled > 0 {
+        acc.ticks as f64 / acc.sampled as f64
+    } else {
+        1.0
+    };
+    let mut phase_ns = [0u64; PHASE_COUNT];
+    for (out, raw) in phase_ns.iter_mut().zip(acc.phase_ns) {
+        *out = (raw as f64 * scale) as u64;
+    }
+    let pool_threads = POOL_WIDTH.swap(0, Ordering::Relaxed).min(MAX_POOL_SHARDS);
+    let pool_runs = POOL_RUNS.swap(0, Ordering::Relaxed);
+    let mut pool_busy_ns = Vec::with_capacity(pool_threads);
+    for slot in POOL_BUSY.iter().take(pool_threads) {
+        pool_busy_ns.push(slot.swap(0, Ordering::Relaxed));
+    }
+    for slot in POOL_BUSY.iter().skip(pool_threads) {
+        slot.store(0, Ordering::Relaxed);
+    }
+    HostProfile {
+        ticks: acc.ticks,
+        sampled: acc.sampled,
+        loop_ns: acc.loop_ns,
+        phase_ns,
+        gpu_cycles: acc.gpu_cycles,
+        gpu_zero_active: acc.gpu_zero_active,
+        gpu_skippable: acc.gpu_skippable,
+        soc_cycles: acc.soc_cycles,
+        soc_skippable: acc.soc_skippable,
+        active_hist: acc.active_hist,
+        pool_threads,
+        pool_runs,
+        pool_busy_ns,
+    }
+}
+
+/// Resets all accumulators without reporting (start of a measured run).
+pub fn reset() {
+    let _ = take();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Profiling state is process-global; every test serializes on this
+    // lock so toggling `ENABLED` cannot race a sibling test.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_path_records_nothing() {
+        let _g = locked();
+        set_enabled(false);
+        reset();
+        tick();
+        assert!(!sampling());
+        let mut clk = PhaseClock::start();
+        clk.lap(HostPhase::GpuExecute);
+        let p = take();
+        assert_eq!(p.ticks, 0);
+        assert_eq!(p.total_phase_ns(), 0);
+        assert_eq!(p.gpu_cycles, 0);
+    }
+
+    #[test]
+    fn sampling_cadence_is_strided() {
+        let _g = locked();
+        set_enabled(true);
+        reset();
+        let mut sampled = 0u64;
+        let n = 10 * SAMPLE_STRIDE;
+        for _ in 0..n {
+            tick();
+            if sampling() {
+                sampled += 1;
+            }
+        }
+        let p = take();
+        set_enabled(false);
+        assert_eq!(p.ticks, n);
+        assert_eq!(p.sampled, sampled);
+        assert_eq!(sampled, n / SAMPLE_STRIDE);
+    }
+
+    #[test]
+    fn phase_clock_attributes_and_extrapolates() {
+        let _g = locked();
+        set_enabled(true);
+        reset();
+        // Tick up to the first sampled cycle (mid-stride, not tick 1).
+        let mut warmup = 0u64;
+        while !sampling() {
+            tick();
+            warmup += 1;
+            assert!(warmup <= SAMPLE_STRIDE, "never sampled");
+        }
+        let mut clk = PhaseClock::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        clk.lap(HostPhase::GpuExecute);
+        clk.skip();
+        clk.lap(HostPhase::GpuCommit);
+        // A second, unsampled tick must not add timestamps.
+        tick();
+        assert!(!sampling());
+        let mut clk2 = PhaseClock::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        clk2.lap(HostPhase::GpuL2);
+        let p = take();
+        set_enabled(false);
+        assert_eq!(p.ticks, warmup + 1);
+        assert_eq!(p.sampled, 1);
+        // 2 ms slept in the sampled lap, extrapolated by ticks/sampled.
+        let exec = p.phase_ns[HostPhase::GpuExecute as usize];
+        assert!(exec >= 2_000_000, "exec phase {exec} ns");
+        assert_eq!(p.phase_ns[HostPhase::GpuL2 as usize], 0);
+        // `skip` re-armed, so the commit lap (even extrapolated) stays
+        // far below the sleep time.
+        assert!(p.phase_ns[HostPhase::GpuCommit as usize] < 1_000_000);
+    }
+
+    #[test]
+    fn loop_total_rescales_phase_sums() {
+        let _g = locked();
+        set_enabled(true);
+        reset();
+        let outer = loop_enter();
+        // A nested guard must be inert: closing it keeps the outer open.
+        let nested = loop_enter();
+        loop_exit(nested);
+        let mut warmup = 0u64;
+        while !sampling() {
+            tick();
+            warmup += 1;
+            assert!(warmup <= SAMPLE_STRIDE, "never sampled");
+        }
+        let mut clk = PhaseClock::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        clk.lap(HostPhase::GpuExecute);
+        // Unsampled tail the sampled lap cannot see; the loop bracket can.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        loop_exit(outer);
+        let p = take();
+        set_enabled(false);
+        assert!(p.loop_ns >= 3_000_000, "loop total {} ns", p.loop_ns);
+        // The single nonzero phase absorbs the whole measured loop time.
+        let total = p.total_phase_ns();
+        assert!(
+            total.abs_diff(p.loop_ns) <= PHASE_COUNT as u64,
+            "phase sum {total} != loop total {}",
+            p.loop_ns
+        );
+    }
+
+    #[test]
+    fn gpu_and_soc_counters_accumulate() {
+        let _g = locked();
+        set_enabled(true);
+        reset();
+        record_gpu_cycle(0, true);
+        record_gpu_cycle(3, false);
+        record_gpu_cycle(12, false);
+        record_soc_cycle(true);
+        record_soc_cycle(false);
+        record_soc_cycle(true);
+        let p = take();
+        set_enabled(false);
+        assert_eq!(p.gpu_cycles, 3);
+        assert_eq!(p.gpu_zero_active, 1);
+        assert_eq!(p.gpu_skippable, 1);
+        assert_eq!(p.active_hist[0], 1);
+        assert_eq!(p.active_hist[3], 1);
+        assert_eq!(p.active_hist[5], 1); // 12 → 8-15
+        assert_eq!(p.soc_cycles, 3);
+        assert_eq!(p.soc_skippable, 2);
+        assert!((p.soc_skippable_frac() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_counters_drain_and_reset() {
+        let _g = locked();
+        reset();
+        pool_add_busy(0, 100);
+        pool_add_busy(1, 300);
+        pool_record_run(2);
+        pool_record_run(2);
+        let p = take();
+        assert_eq!(p.pool_threads, 2);
+        assert_eq!(p.pool_runs, 2);
+        assert_eq!(p.pool_busy_ns, vec![100, 300]);
+        assert!((p.pool_imbalance() - 1.5).abs() < 1e-12);
+        let p2 = take();
+        assert_eq!(p2.pool_runs, 0);
+        assert!(p2.pool_busy_ns.is_empty());
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(active_bucket(0), 0);
+        assert_eq!(active_bucket(3), 3);
+        assert_eq!(active_bucket(4), 4);
+        assert_eq!(active_bucket(7), 4);
+        assert_eq!(active_bucket(8), 5);
+        assert_eq!(active_bucket(63), 7);
+        assert_eq!(active_bucket(64), 8);
+        assert_eq!(active_bucket(10_000), 8);
+        assert_eq!(active_bucket_label(8), "64+");
+    }
+}

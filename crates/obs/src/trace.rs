@@ -40,11 +40,14 @@ pub enum TraceCat {
     Dfsl = 1 << 6,
     /// Whole-frame spans.
     Frame = 1 << 7,
+    /// Host-side self-profiler spans (simulator wall-clock, not simulated
+    /// time — see `crate::prof`).
+    Host = 1 << 8,
 }
 
 impl TraceCat {
     /// Every category's bits OR-ed together.
-    pub const ALL: u32 = (1 << 8) - 1;
+    pub const ALL: u32 = (1 << 9) - 1;
 
     /// This category's mask bit.
     pub fn bit(self) -> u32 {
@@ -62,11 +65,12 @@ impl TraceCat {
             TraceCat::Cpu => "soc.cpu",
             TraceCat::Dfsl => "gfx.dfsl",
             TraceCat::Frame => "soc.frame",
+            TraceCat::Host => "host.prof",
         }
     }
 
     /// All categories, in bit order.
-    pub fn all() -> [TraceCat; 8] {
+    pub fn all() -> [TraceCat; 9] {
         [
             TraceCat::Warp,
             TraceCat::Draw,
@@ -76,6 +80,7 @@ impl TraceCat {
             TraceCat::Cpu,
             TraceCat::Dfsl,
             TraceCat::Frame,
+            TraceCat::Host,
         ]
     }
 }
@@ -108,7 +113,14 @@ struct Ring {
 
 impl Ring {
     fn push(&mut self, ev: TraceEvent) {
-        if self.events.len() >= self.capacity {
+        // A zero-capacity ring records nothing but still counts drops —
+        // `events.len() >= capacity` alone would pop from an empty deque
+        // and then push anyway, growing a "ring" of capacity 0 forever.
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        while self.events.len() >= self.capacity {
             self.events.pop_front();
             self.dropped += 1;
         }
@@ -154,11 +166,12 @@ pub fn is_enabled(cat: TraceCat) -> bool {
 }
 
 /// Resizes the ring buffer (oldest events are dropped if shrinking) and
-/// clears the dropped-event counter.
+/// clears the dropped-event counter. A capacity of `0` is valid: nothing
+/// is buffered and every subsequent emit counts as dropped.
 pub fn set_capacity(capacity: usize) {
     RING.with(|r| {
         let mut ring = r.borrow_mut();
-        ring.capacity = capacity.max(1);
+        ring.capacity = capacity;
         while ring.events.len() > ring.capacity {
             ring.events.pop_front();
         }
@@ -366,6 +379,87 @@ mod tests {
         assert_eq!(take_dropped(), 2);
         assert_eq!(dropped(), 0);
         reset();
+    }
+
+    #[test]
+    fn mask_covers_exactly_the_declared_categories() {
+        let mut or = 0u32;
+        for cat in TraceCat::all() {
+            assert_eq!(or & cat.bit(), 0, "category bits must be distinct");
+            or |= cat.bit();
+        }
+        assert_eq!(or, TraceCat::ALL);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_nothing_but_counts_drops() {
+        reset();
+        set_enabled(TraceCat::ALL);
+        set_capacity(0);
+        for i in 0..4u64 {
+            instant(TraceCat::Host, "h", 0, i);
+        }
+        assert_eq!(len(), 0);
+        assert_eq!(dropped(), 4);
+        assert!(drain().is_empty());
+        // Restoring a real capacity records again.
+        set_capacity(2);
+        instant(TraceCat::Host, "h", 0, 9);
+        assert_eq!(len(), 1);
+        reset();
+    }
+
+    #[test]
+    fn wraparound_preserves_record_order_across_many_wraps() {
+        reset();
+        set_enabled(TraceCat::ALL);
+        set_capacity(4);
+        // 10 full revolutions of the ring: the survivors must always be
+        // the newest `capacity` events, in emit order.
+        for i in 0..40u64 {
+            instant(TraceCat::Warp, "w", 0, i);
+        }
+        let ts: Vec<u64> = drain().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![36, 37, 38, 39]);
+        assert_eq!(take_dropped(), 36);
+        // Interleaved drains restart cleanly mid-wrap.
+        for i in 0..6u64 {
+            instant(TraceCat::Warp, "w", 0, 100 + i);
+        }
+        let ts: Vec<u64> = drain().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![102, 103, 104, 105]);
+        reset();
+    }
+
+    #[test]
+    fn shrinking_capacity_keeps_newest_events() {
+        reset();
+        set_enabled(TraceCat::ALL);
+        set_capacity(8);
+        for i in 0..6u64 {
+            instant(TraceCat::Frame, "f", 0, i);
+        }
+        set_capacity(2);
+        let ts: Vec<u64> = drain().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![4, 5]);
+        assert_eq!(dropped(), 0, "set_capacity clears the drop counter");
+        reset();
+    }
+
+    #[test]
+    fn host_category_exports_as_its_own_process() {
+        let events = vec![TraceEvent {
+            cat: TraceCat::Host,
+            name: "gpu.execute",
+            track: 2,
+            ts: 0,
+            dur: Some(1200),
+            args: vec![("ns", 1_200_000)],
+        }];
+        let json = export_chrome(&events);
+        assert!(json.contains("\"name\": \"host.prof\""));
+        assert!(json.contains(&format!("\"pid\": {}", TraceCat::Host.bit())));
+        assert!(json.contains("\"dur\": 1200"));
     }
 
     #[test]

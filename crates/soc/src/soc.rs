@@ -257,13 +257,17 @@ impl Soc {
         let mut gpu_active = false;
         let mut gpu_done = false;
 
+        let prof_loop = emerald_obs::prof::loop_enter();
         loop {
+            emerald_obs::prof::tick();
+            let mut clk = emerald_obs::prof::PhaseClock::start();
             self.now += 1;
             let now = self.now;
 
             // Memory system and response routing.
             self.memsys.tick(now);
             self.route_responses();
+            clk.lap(emerald_obs::prof::HostPhase::SocMem);
 
             // Display scanout. On backpressure every drained request is
             // re-queued — dropping one would lose its response forever.
@@ -277,6 +281,7 @@ impl Soc {
                     blocked = true;
                 }
             }
+            clk.lap(emerald_obs::prof::HostPhase::SocDisplay);
 
             // CPU cores.
             for i in 0..self.cpus.len() {
@@ -300,8 +305,9 @@ impl Soc {
                     }
                 }
             }
+            clk.lap(emerald_obs::prof::HostPhase::SocCpu);
 
-            // GPU renderer.
+            // GPU renderer (self-attributing; don't double-count).
             {
                 let mut port = SocPort {
                     memsys: &mut self.memsys,
@@ -309,6 +315,7 @@ impl Soc {
                 };
                 self.renderer.cycle(now, &mut port);
             }
+            clk.skip();
             if gpu_active && !gpu_done && self.renderer.is_idle() {
                 gpu_done = true;
                 gpu_cycles = now - gpu_start;
@@ -316,6 +323,23 @@ impl Soc {
 
             // DASH deadline feedback.
             self.dash_feedback(gpu_active && !gpu_done, gpu_start);
+
+            // Skip-opportunity accounting: a cycle is skippable when no
+            // modeled agent with cycle-accurate state has work in flight —
+            // only CPU scripts tick, and those advance analytically.
+            if emerald_obs::prof::enabled() {
+                // Skippable: the GPU has nothing in flight, the display
+                // engine has nothing pending, and no memory request is
+                // waiting on a scheduling decision. In-service DRAM
+                // accesses complete at precomputed cycles, so an
+                // event-driven scheduler could jump straight to the next
+                // known-time event across such a cycle.
+                let skippable = self.renderer.gpu.is_quiescent()
+                    && !self.display.has_pending()
+                    && self.memsys.queued() == 0;
+                emerald_obs::prof::record_soc_cycle(skippable);
+            }
+            clk.lap(emerald_obs::prof::HostPhase::SocOther);
 
             if gpu_done && self.cpus.iter().all(|c| c.at_frame_end()) {
                 break;
@@ -340,6 +364,7 @@ impl Soc {
                 "SoC frame exceeded {max_cycles} cycles"
             );
         }
+        emerald_obs::prof::loop_exit(prof_loop);
 
         let gfx = self.renderer.frame_stats(gpu_cycles);
         self.expected_frags = gfx.fragments.max(1);

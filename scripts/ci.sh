@@ -43,6 +43,21 @@ grep -q '"cycles_per_sec"' BENCH_frame.json
 grep -q '"speedup_vs_1t"' BENCH_frame.json
 grep -q '"phases"' BENCH_frame.json
 grep -q '"pool_dispatch"' BENCH_frame.json
+
+echo "==> profiled bench smoke (EMERALD_PROFILE=1: profile blocks, overhead gate, trace export)"
+EMERALD_PROFILE=1 ./scripts/bench.sh --smoke --out BENCH_profile.json >/dev/null 2>&1
+test -s BENCH_profile.json
+grep -q '"profile"' BENCH_profile.json
+grep -q '"profile_overhead_pct"' BENCH_profile.json
+grep -q '"soc_skippable_frac"' BENCH_profile.json
+test -s BENCH_profile_trace.json
+
 cargo test --release --test bench_schema -q
+
+echo "==> bench_diff: smoke run vs committed baseline (cycles only)"
+cargo run --release --quiet --bin bench_diff -- scripts/bench_baseline.json BENCH_frame.json --no-wall
+
+echo "==> bench_diff: profiled vs unprofiled smoke (cycles must be identical)"
+cargo run --release --quiet --bin bench_diff -- BENCH_frame.json BENCH_profile.json --no-wall
 
 echo "CI gate passed."

@@ -1,0 +1,320 @@
+//! Benchmark regression differ: compares two `emerald-bench-v1` reports.
+//!
+//! `bench_diff` (the binary in `src/bin/bench_diff.rs`) feeds two report
+//! files through [`diff_reports`] and exits nonzero on regression. Two
+//! axes are checked per `(workload, threads)` run:
+//!
+//! * **cycles** — simulated cycle counts are deterministic, so *any*
+//!   difference is a model change and always flagged. CI diffs against
+//!   the committed `scripts/bench_baseline.json` with `--no-wall`, which
+//!   makes this the only gate: it is machine-independent.
+//! * **wall time** — `sim_ms` may regress by at most a per-workload
+//!   threshold (default 25 %). Only meaningful when both reports come
+//!   from the same machine; suppressed by [`DiffOptions::no_wall`].
+//!
+//! A run present in the baseline but missing from the current report is a
+//! regression (a silently dropped workload must not pass CI); new runs in
+//! the current report are informational only, so reports can grow.
+
+use emerald_common::json::Json;
+use std::collections::BTreeMap;
+
+/// Comparison options.
+#[derive(Debug, Clone, Default)]
+pub struct DiffOptions {
+    /// Skip wall-time comparison (cross-machine diffs; cycles only).
+    pub no_wall: bool,
+    /// Default allowed `sim_ms` regression in percent (25 when `None`).
+    pub threshold_pct: Option<f64>,
+    /// Per-workload threshold overrides, percent.
+    pub per_workload_pct: BTreeMap<String, f64>,
+}
+
+impl DiffOptions {
+    fn threshold_for(&self, workload: &str) -> f64 {
+        self.per_workload_pct
+            .get(workload)
+            .copied()
+            .unwrap_or(self.threshold_pct.unwrap_or(25.0))
+    }
+}
+
+/// One comparison line.
+#[derive(Debug, Clone)]
+pub struct DiffLine {
+    /// Workload name.
+    pub workload: String,
+    /// Thread count of the run.
+    pub threads: u64,
+    /// Human-readable comparison result.
+    pub message: String,
+    /// Whether this line is a regression.
+    pub regressed: bool,
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Every comparison performed, in report order.
+    pub lines: Vec<DiffLine>,
+}
+
+impl DiffReport {
+    /// True when any line regressed.
+    pub fn regressed(&self) -> bool {
+        self.lines.iter().any(|l| l.regressed)
+    }
+
+    /// Lines that regressed.
+    pub fn regressions(&self) -> Vec<&DiffLine> {
+        self.lines.iter().filter(|l| l.regressed).collect()
+    }
+}
+
+/// A run's identity within a report: `(workload, threads)`.
+type RunKey = (String, u64);
+/// A run's comparable numbers: `(cycles, sim_ms)`.
+type RunMetrics = (u64, f64);
+
+/// Flattens a report into `(workload, threads) -> (cycles, sim_ms)`.
+fn index_runs(doc: &Json) -> Result<BTreeMap<RunKey, RunMetrics>, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or("missing schema tag")?;
+    if schema != "emerald-bench-v1" {
+        return Err(format!("unsupported schema {schema:?}"));
+    }
+    let mut out = BTreeMap::new();
+    let workloads = doc
+        .get("workloads")
+        .and_then(|w| w.as_arr())
+        .ok_or("missing workloads array")?;
+    for w in workloads {
+        let name = w
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or("workload missing name")?
+            .to_string();
+        let runs = w
+            .get("runs")
+            .and_then(|r| r.as_arr())
+            .ok_or("workload missing runs")?;
+        for r in runs {
+            let threads = r
+                .get("threads")
+                .and_then(|t| t.as_num())
+                .ok_or("run missing threads")? as u64;
+            let cycles = r
+                .get("cycles")
+                .and_then(|c| c.as_num())
+                .ok_or("run missing cycles")? as u64;
+            let sim_ms = r
+                .get("phases")
+                .and_then(|p| p.get("sim_ms"))
+                .and_then(|m| m.as_num())
+                .ok_or("run missing phases.sim_ms")?;
+            out.insert((name.clone(), threads), (cycles, sim_ms));
+        }
+    }
+    Ok(out)
+}
+
+/// Compares `current` against `baseline`. Returns `Err` on malformed
+/// input or mismatched smoke flags (a smoke report must never be judged
+/// against a full one — the workload sizes differ).
+pub fn diff_reports(
+    baseline: &Json,
+    current: &Json,
+    opts: &DiffOptions,
+) -> Result<DiffReport, String> {
+    let base_smoke = baseline.get("smoke").and_then(|s| s.as_bool());
+    let cur_smoke = current.get("smoke").and_then(|s| s.as_bool());
+    if base_smoke != cur_smoke {
+        return Err(format!(
+            "smoke flags differ (baseline {base_smoke:?}, current {cur_smoke:?}) — \
+             reports are not comparable"
+        ));
+    }
+    let base = index_runs(baseline)?;
+    let cur = index_runs(current)?;
+    let mut report = DiffReport::default();
+    for ((workload, threads), (bc, bms)) in &base {
+        let Some((cc, cms)) = cur.get(&(workload.clone(), *threads)) else {
+            report.lines.push(DiffLine {
+                workload: workload.clone(),
+                threads: *threads,
+                message: "run missing from current report".to_string(),
+                regressed: true,
+            });
+            continue;
+        };
+        if cc != bc {
+            report.lines.push(DiffLine {
+                workload: workload.clone(),
+                threads: *threads,
+                message: format!("cycles changed: {bc} -> {cc}"),
+                regressed: true,
+            });
+            continue;
+        }
+        if !opts.no_wall && *bms > 0.0 {
+            let pct = (cms - bms) / bms * 100.0;
+            let limit = opts.threshold_for(workload);
+            if pct > limit {
+                report.lines.push(DiffLine {
+                    workload: workload.clone(),
+                    threads: *threads,
+                    message: format!(
+                        "sim_ms regressed {pct:.1} % ({bms:.1} -> {cms:.1} ms, limit {limit:.0} %)"
+                    ),
+                    regressed: true,
+                });
+                continue;
+            }
+            report.lines.push(DiffLine {
+                workload: workload.clone(),
+                threads: *threads,
+                message: format!("ok: cycles {cc}, sim_ms {bms:.1} -> {cms:.1} ({pct:+.1} %)"),
+                regressed: false,
+            });
+        } else {
+            report.lines.push(DiffLine {
+                workload: workload.clone(),
+                threads: *threads,
+                message: format!("ok: cycles {cc}"),
+                regressed: false,
+            });
+        }
+    }
+    for (workload, threads) in cur.keys() {
+        if !base.contains_key(&(workload.clone(), *threads)) {
+            report.lines.push(DiffLine {
+                workload: workload.clone(),
+                threads: *threads,
+                message: "new run (not in baseline)".to_string(),
+                regressed: false,
+            });
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(smoke: bool, runs: &[(&str, u64, u64, f64)]) -> Json {
+        let mut by_wl: BTreeMap<&str, Vec<(u64, u64, f64)>> = BTreeMap::new();
+        for (w, t, c, ms) in runs {
+            by_wl.entry(w).or_default().push((*t, *c, *ms));
+        }
+        let mut s =
+            format!("{{ \"schema\": \"emerald-bench-v1\", \"smoke\": {smoke}, \"workloads\": [");
+        let mut first_w = true;
+        for (w, rs) in by_wl {
+            if !first_w {
+                s.push(',');
+            }
+            first_w = false;
+            s.push_str(&format!("{{ \"name\": \"{w}\", \"runs\": ["));
+            for (i, (t, c, ms)) in rs.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{ \"threads\": {t}, \"cycles\": {c}, \"phases\": {{ \"sim_ms\": {ms} }} }}"
+                ));
+            }
+            s.push_str("] }");
+        }
+        s.push_str("] }");
+        Json::parse(&s).expect("synthetic report parses")
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let b = report(true, &[("w", 1, 100, 10.0), ("w", 4, 100, 5.0)]);
+        let r = diff_reports(&b, &b, &DiffOptions::default()).unwrap();
+        assert!(!r.regressed());
+        assert_eq!(r.lines.len(), 2);
+    }
+
+    #[test]
+    fn cycle_change_is_always_a_regression() {
+        let b = report(true, &[("w", 1, 100, 10.0)]);
+        let c = report(true, &[("w", 1, 101, 1.0)]);
+        let r = diff_reports(&b, &c, &DiffOptions::default()).unwrap();
+        assert!(r.regressed());
+        assert!(r.regressions()[0].message.contains("cycles changed"));
+        // --no-wall must not suppress it.
+        let opts = DiffOptions {
+            no_wall: true,
+            ..Default::default()
+        };
+        assert!(diff_reports(&b, &c, &opts).unwrap().regressed());
+    }
+
+    #[test]
+    fn wall_regression_respects_threshold_and_no_wall() {
+        let b = report(true, &[("w", 1, 100, 10.0)]);
+        let c = report(true, &[("w", 1, 100, 13.0)]);
+        // +30 % > default 25 %: regression.
+        assert!(diff_reports(&b, &c, &DiffOptions::default())
+            .unwrap()
+            .regressed());
+        // Raised default threshold passes.
+        let lax = DiffOptions {
+            threshold_pct: Some(50.0),
+            ..Default::default()
+        };
+        assert!(!diff_reports(&b, &c, &lax).unwrap().regressed());
+        // Per-workload override beats the default.
+        let mut per = BTreeMap::new();
+        per.insert("w".to_string(), 50.0);
+        let pw = DiffOptions {
+            per_workload_pct: per,
+            ..Default::default()
+        };
+        assert!(!diff_reports(&b, &c, &pw).unwrap().regressed());
+        // --no-wall ignores wall time entirely.
+        let nw = DiffOptions {
+            no_wall: true,
+            ..Default::default()
+        };
+        assert!(!diff_reports(&b, &c, &nw).unwrap().regressed());
+    }
+
+    #[test]
+    fn missing_run_regresses_but_new_run_does_not() {
+        let b = report(true, &[("w", 1, 100, 10.0), ("w", 4, 100, 5.0)]);
+        let c = report(true, &[("w", 1, 100, 10.0), ("x", 1, 7, 1.0)]);
+        let r = diff_reports(&b, &c, &DiffOptions::default()).unwrap();
+        let regs = r.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!((regs[0].workload.as_str(), regs[0].threads), ("w", 4));
+        assert!(r
+            .lines
+            .iter()
+            .any(|l| l.workload == "x" && !l.regressed && l.message.contains("new run")));
+    }
+
+    #[test]
+    fn smoke_mismatch_and_bad_schema_are_errors() {
+        let b = report(true, &[("w", 1, 100, 10.0)]);
+        let c = report(false, &[("w", 1, 100, 10.0)]);
+        assert!(diff_reports(&b, &c, &DiffOptions::default()).is_err());
+        let bad =
+            Json::parse("{ \"schema\": \"other\", \"smoke\": true, \"workloads\": [] }").unwrap();
+        assert!(diff_reports(&bad, &bad, &DiffOptions::default()).is_err());
+    }
+
+    #[test]
+    fn faster_wall_time_is_not_a_regression() {
+        let b = report(false, &[("w", 2, 42, 20.0)]);
+        let c = report(false, &[("w", 2, 42, 8.0)]);
+        let r = diff_reports(&b, &c, &DiffOptions::default()).unwrap();
+        assert!(!r.regressed());
+        assert!(r.lines[0].message.contains("-60.0 %"));
+    }
+}

@@ -39,6 +39,8 @@ pub struct Run {
     pub cycles: u64,
     /// Per-phase breakdown of `wall_ms`.
     pub phases: PhaseTimes,
+    /// Host self-profile of the sim phase (`EMERALD_PROFILE=1` only).
+    pub profile: Option<emerald_obs::HostProfile>,
 }
 
 /// A named workload with its thread-scaling runs (first run is the
@@ -63,10 +65,93 @@ pub struct PoolDispatch {
     pub ns_per_run: f64,
 }
 
+/// Serializes one run's host self-profile as a JSON object (no trailing
+/// newline). `sim_ms` contextualizes pool utilization.
+fn profile_json(p: &emerald_obs::HostProfile, sim_ms: f64) -> String {
+    use emerald_obs::prof::{active_bucket_label, HostPhase, ACTIVE_BUCKETS};
+    let mut s = String::from("{ ");
+    s.push_str(&format!(
+        "\"ticks\": {}, \"sampled_ticks\": {}, \"loop_ms\": {:.3}, ",
+        p.ticks,
+        p.sampled,
+        p.loop_ns as f64 / 1e6
+    ));
+    s.push_str("\"phases_ns\": { ");
+    let mut first = true;
+    for ph in HostPhase::all() {
+        let ns = p.phase_ns[ph as usize];
+        if ns == 0 {
+            continue;
+        }
+        if !first {
+            s.push_str(", ");
+        }
+        first = false;
+        s.push_str(&format!("\"{}\": {}", ph.name(), ns));
+    }
+    s.push_str(" }, ");
+    s.push_str(&format!(
+        "\"phase_sum_ms\": {:.3}, ",
+        p.total_phase_ns() as f64 / 1e6
+    ));
+    s.push_str(&format!(
+        "\"gpu_cycles\": {}, \"gpu_zero_active_cycles\": {}, \"gpu_skippable_cycles\": {}, \"gpu_skippable_frac\": {:.4}, ",
+        p.gpu_cycles,
+        p.gpu_zero_active,
+        p.gpu_skippable,
+        p.gpu_skippable_frac()
+    ));
+    s.push_str(&format!(
+        "\"soc_cycles\": {}, \"soc_skippable_cycles\": {}, \"soc_skippable_frac\": {:.4}, ",
+        p.soc_cycles,
+        p.soc_skippable,
+        p.soc_skippable_frac()
+    ));
+    s.push_str("\"active_hist\": { ");
+    for b in 0..ACTIVE_BUCKETS {
+        if b > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "\"{}\": {}",
+            active_bucket_label(b),
+            p.active_hist[b]
+        ));
+    }
+    s.push_str(" }, ");
+    let busy_ms: Vec<String> = p
+        .pool_busy_ns
+        .iter()
+        .map(|&ns| format!("{:.3}", ns as f64 / 1e6))
+        .collect();
+    let busy_total_ms = p.pool_busy_ns.iter().sum::<u64>() as f64 / 1e6;
+    let util = if p.pool_threads > 0 && sim_ms > 0.0 {
+        busy_total_ms / (p.pool_threads as f64 * sim_ms)
+    } else {
+        0.0
+    };
+    s.push_str(&format!(
+        "\"pool\": {{ \"threads\": {}, \"runs\": {}, \"busy_ms\": [{}], \"utilization\": {:.4}, \"imbalance\": {:.3} }}",
+        p.pool_threads,
+        p.pool_runs,
+        busy_ms.join(", "),
+        util,
+        p.pool_imbalance()
+    ));
+    s.push_str(" }");
+    s
+}
+
 /// Serializes the report in the `emerald-bench-v1` schema. The output is
 /// strict JSON (validated by `tests/bench_schema.rs` against the in-tree
-/// parser).
-pub fn to_json(workloads: &[Workload], pool_dispatch: &[PoolDispatch], smoke: bool) -> String {
+/// parser). `profile_overhead_pct` is the measured wall-clock cost of
+/// running with `EMERALD_PROFILE=1`, present only when it was measured.
+pub fn to_json(
+    workloads: &[Workload],
+    pool_dispatch: &[PoolDispatch],
+    smoke: bool,
+    profile_overhead_pct: Option<f64>,
+) -> String {
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -75,6 +160,9 @@ pub fn to_json(workloads: &[Workload], pool_dispatch: &[PoolDispatch], smoke: bo
     s.push_str("  \"schema\": \"emerald-bench-v1\",\n");
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str(&format!("  \"host_threads\": {host},\n"));
+    if let Some(pct) = profile_overhead_pct {
+        s.push_str(&format!("  \"profile_overhead_pct\": {pct:.2},\n"));
+    }
     s.push_str("  \"workloads\": [\n");
     for (wi, w) in workloads.iter().enumerate() {
         s.push_str(&format!("    {{ \"name\": \"{}\", \"runs\": [\n", w.name));
@@ -90,8 +178,12 @@ pub fn to_json(workloads: &[Workload], pool_dispatch: &[PoolDispatch], smoke: bo
             } else {
                 0.0
             };
+            let profile = match &r.profile {
+                Some(p) => format!(", \"profile\": {}", profile_json(p, r.phases.sim_ms)),
+                None => String::new(),
+            };
             s.push_str(&format!(
-                "      {{ \"threads\": {}, \"wall_ms\": {:.3}, \"cycles\": {}, \"cycles_per_sec\": {:.1}, \"speedup_vs_1t\": {:.3}, \"phases\": {{ \"setup_ms\": {:.3}, \"sim_ms\": {:.3}, \"readback_ms\": {:.3} }} }}{}\n",
+                "      {{ \"threads\": {}, \"wall_ms\": {:.3}, \"cycles\": {}, \"cycles_per_sec\": {:.1}, \"speedup_vs_1t\": {:.3}, \"phases\": {{ \"setup_ms\": {:.3}, \"sim_ms\": {:.3}, \"readback_ms\": {:.3} }}{} }}{}\n",
                 r.threads,
                 r.wall_ms,
                 r.cycles,
@@ -100,6 +192,7 @@ pub fn to_json(workloads: &[Workload], pool_dispatch: &[PoolDispatch], smoke: bo
                 r.phases.setup_ms,
                 r.phases.sim_ms,
                 r.phases.readback_ms,
+                profile,
                 if ri + 1 < w.runs.len() { "," } else { "" }
             ));
         }
@@ -144,6 +237,7 @@ mod tests {
                         sim_ms: 7.0,
                         readback_ms: 1.0,
                     },
+                    profile: None,
                 },
                 Run {
                     threads: 2,
@@ -154,9 +248,31 @@ mod tests {
                         sim_ms: 17.0,
                         readback_ms: 1.0,
                     },
+                    profile: None,
                 },
             ],
         }]
+    }
+
+    fn sample_profile() -> emerald_obs::HostProfile {
+        let mut p = emerald_obs::HostProfile {
+            ticks: 6100,
+            sampled: 100,
+            gpu_cycles: 6100,
+            gpu_zero_active: 900,
+            gpu_skippable: 600,
+            soc_cycles: 6100,
+            soc_skippable: 1220,
+            pool_threads: 2,
+            pool_runs: 5000,
+            pool_busy_ns: vec![4_000_000, 2_000_000],
+            ..Default::default()
+        };
+        p.phase_ns[emerald_obs::HostPhase::GpuExecute as usize] = 5_000_000;
+        p.phase_ns[emerald_obs::HostPhase::GpuCommit as usize] = 1_000_000;
+        p.active_hist[0] = 900;
+        p.active_hist[2] = 5200;
+        p
     }
 
     #[test]
@@ -165,7 +281,7 @@ mod tests {
             threads: 2,
             ns_per_run: 850.0,
         }];
-        let doc = Json::parse(&to_json(&sample(), &dispatch, true)).expect("valid JSON");
+        let doc = Json::parse(&to_json(&sample(), &dispatch, true, None)).expect("valid JSON");
         assert_eq!(
             doc.get("schema").unwrap().as_str().unwrap(),
             "emerald-bench-v1"
@@ -187,13 +303,54 @@ mod tests {
 
     #[test]
     fn empty_pool_dispatch_is_valid_json() {
-        let doc = Json::parse(&to_json(&sample(), &[], true)).expect("valid JSON");
+        let doc = Json::parse(&to_json(&sample(), &[], true, None)).expect("valid JSON");
         assert!(doc
             .get("pool_dispatch")
             .unwrap()
             .as_arr()
             .unwrap()
             .is_empty());
+        assert!(doc.get("profile_overhead_pct").is_none());
+    }
+
+    #[test]
+    fn profile_block_serializes_when_present() {
+        let mut wls = sample();
+        wls[0].runs[0].profile = Some(sample_profile());
+        let doc = Json::parse(&to_json(&wls, &[], true, Some(2.5))).expect("valid JSON");
+        assert_eq!(
+            doc.get("profile_overhead_pct").unwrap().as_num().unwrap(),
+            2.5
+        );
+        let runs = doc.get("workloads").unwrap().as_arr().unwrap()[0]
+            .get("runs")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        let prof = runs[0].get("profile").expect("run 0 has a profile");
+        assert!(runs[1].get("profile").is_none(), "run 1 has none");
+        assert_eq!(prof.get("ticks").unwrap().as_num().unwrap(), 6100.0);
+        let phases = prof.get("phases_ns").unwrap();
+        assert_eq!(
+            phases.get("gpu.execute").unwrap().as_num().unwrap(),
+            5_000_000.0
+        );
+        assert!(phases.get("gpu.dram").is_none(), "zero phases elided");
+        let gfrac = prof.get("gpu_skippable_frac").unwrap().as_num().unwrap();
+        assert!((gfrac - 600.0 / 6100.0).abs() < 1e-4, "gfrac {gfrac}");
+        let frac = prof.get("soc_skippable_frac").unwrap().as_num().unwrap();
+        assert!((frac - 0.2).abs() < 1e-9);
+        let hist = prof.get("active_hist").unwrap();
+        assert_eq!(hist.get("2").unwrap().as_num().unwrap(), 5200.0);
+        assert_eq!(hist.get("64+").unwrap().as_num().unwrap(), 0.0);
+        let pool = prof.get("pool").unwrap();
+        assert_eq!(pool.get("threads").unwrap().as_num().unwrap(), 2.0);
+        assert_eq!(pool.get("busy_ms").unwrap().as_arr().unwrap().len(), 2);
+        // 6 ms busy over 2 threads × 7 ms sim = 42.86 % utilization.
+        let util = pool.get("utilization").unwrap().as_num().unwrap();
+        assert!((util - 6.0 / 14.0).abs() < 1e-3, "util {util}");
+        let imb = pool.get("imbalance").unwrap().as_num().unwrap();
+        assert!((imb - 4.0 / 3.0).abs() < 1e-3, "imbalance {imb}");
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Benchmark regression gate over two `emerald-bench-v1` reports.
+//!
+//! ```text
+//! bench_diff BASELINE.json CURRENT.json [--no-wall] [--threshold PCT]
+//!            [--threshold-for WORKLOAD=PCT]...
+//! ```
+//!
+//! Exit codes: `0` no regression, `1` regression found, `2` usage or
+//! parse error. CI runs this against the committed
+//! `scripts/bench_baseline.json` with `--no-wall` (cycles are
+//! deterministic across machines; wall time is not).
+
+use emerald::bench_diff::{diff_reports, DiffOptions};
+use emerald_common::json::Json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff BASELINE.json CURRENT.json [--no-wall] [--threshold PCT] \
+         [--threshold-for WORKLOAD=PCT]..."
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_diff: {msg}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    Json::parse(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--no-wall" => opts.no_wall = true,
+            "--threshold" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| usage());
+                opts.threshold_pct =
+                    Some(v.parse().unwrap_or_else(|_| fail("bad --threshold value")));
+            }
+            "--threshold-for" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| usage());
+                let (name, pct) = v
+                    .split_once('=')
+                    .unwrap_or_else(|| fail("--threshold-for wants WORKLOAD=PCT"));
+                opts.per_workload_pct.insert(
+                    name.to_string(),
+                    pct.parse()
+                        .unwrap_or_else(|_| fail("bad --threshold-for percent")),
+                );
+            }
+            a if a.starts_with("--") => usage(),
+            _ => paths.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    let baseline = load(&paths[0]);
+    let current = load(&paths[1]);
+    let report = diff_reports(&baseline, &current, &opts).unwrap_or_else(|e| fail(&e));
+    for line in &report.lines {
+        let tag = if line.regressed {
+            "REGRESSION"
+        } else {
+            "      "
+        };
+        eprintln!(
+            "{tag} {:>24} t={}: {}",
+            line.workload, line.threads, line.message
+        );
+    }
+    if report.regressed() {
+        eprintln!(
+            "bench_diff: {} regression(s) vs {}",
+            report.regressions().len(),
+            paths[0]
+        );
+        std::process::exit(1);
+    }
+    eprintln!("bench_diff: no regressions vs {}", paths[0]);
+}

@@ -8,6 +8,16 @@
 //! wraps the release build and runs from the repo root. `--smoke` shrinks
 //! every workload for CI smoke checks; timings are then meaningless but
 //! the JSON shape (and the cross-thread determinism checks) still hold.
+//!
+//! With `EMERALD_PROFILE=1` each run additionally carries a host
+//! self-profile (`obs::prof`): per-phase wall-clock attribution, pool
+//! utilization and skip-opportunity counts, plus a Chrome-trace export of
+//! the host phases next to the report (`<out>_trace.json` — load in
+//! Perfetto). The harness always measures the profiler's own wall-clock
+//! overhead on the saxpy workload and records it as
+//! `profile_overhead_pct`; in `--smoke` mode an overhead above 5 % is a
+//! hard failure (nonzero exit), keeping the "cheap when enabled"
+//! guarantee under CI.
 
 use emerald::bench_report::{to_json, PhaseTimes, PoolDispatch, Run, Workload};
 use emerald::core::session::SceneBinding;
@@ -23,6 +33,36 @@ fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
     (t0.elapsed().as_secs_f64() * 1e3, r)
 }
 
+/// Snapshots the host profile of the run that just finished, when
+/// profiling is on (`None` otherwise, so the JSON stays unchanged).
+fn take_profile() -> Option<emerald::obs::HostProfile> {
+    if emerald::obs::prof::enabled() {
+        Some(emerald::obs::prof::take())
+    } else {
+        None
+    }
+}
+
+/// One-line profile summary next to the per-run timing eprintln.
+fn eprint_profile(name: &str, threads: usize, run: &Run) {
+    let Some(p) = &run.profile else { return };
+    let sum_ms = p.total_phase_ns() as f64 / 1e6;
+    let busy_ms = p.pool_busy_ns.iter().sum::<u64>() as f64 / 1e6;
+    let util = if p.pool_threads > 0 && run.phases.sim_ms > 0.0 {
+        busy_ms / (p.pool_threads as f64 * run.phases.sim_ms)
+    } else {
+        0.0
+    };
+    eprintln!(
+        "  profile {name} t={threads}: phases {sum_ms:.1} ms (sim {:.1} ms), gpu skippable {:.1}%, soc skippable {:.1}%, pool util {:.0}% imb {:.2}",
+        run.phases.sim_ms,
+        100.0 * p.gpu_skippable_frac(),
+        100.0 * p.soc_skippable_frac(),
+        100.0 * util,
+        p.pool_imbalance(),
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -32,6 +72,12 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_frame.json".to_string());
     let thread_counts: &[usize] = &[1, 2, 4];
+
+    let profiling = emerald::obs::prof::init_from_env();
+    if profiling {
+        emerald::obs::trace::enable(emerald::obs::TraceCat::Host);
+        emerald::obs::prof::reset();
+    }
 
     let mut workloads = Vec::new();
 
@@ -45,6 +91,7 @@ fn main() {
             "render_cs1_frame t={t}: {:.1} ms ({:.1} setup / {:.1} sim / {:.1} readback), {} cycles",
             run.wall_ms, run.phases.setup_ms, run.phases.sim_ms, run.phases.readback_ms, run.cycles
         );
+        eprint_profile("render_cs1_frame", t, &run);
         if reference_fb.is_none() {
             reference_fb = Some(fb);
         }
@@ -64,6 +111,7 @@ fn main() {
             "gpgpu_saxpy t={t}: {:.1} ms ({:.1} setup / {:.1} sim / {:.1} readback), {} cycles",
             run.wall_ms, run.phases.setup_ms, run.phases.sim_ms, run.phases.readback_ms, run.cycles
         );
+        eprint_profile("gpgpu_saxpy", t, &run);
         runs.push(run);
     }
     workloads.push(Workload {
@@ -79,6 +127,7 @@ fn main() {
             "soc_frame t={t}: {:.1} ms ({:.1} setup / {:.1} sim / {:.1} readback), {} cycles",
             run.wall_ms, run.phases.setup_ms, run.phases.sim_ms, run.phases.readback_ms, run.cycles
         );
+        eprint_profile("soc_frame", t, &run);
         runs.push(run);
     }
     workloads.push(Workload {
@@ -98,9 +147,84 @@ fn main() {
         });
     }
 
-    let json = to_json(&workloads, &pool_dispatch, smoke);
+    // 5. Profiler overhead: the same saxpy sim with profiling forced off
+    // vs. on. Cycles must be bit-identical (the profiler never touches
+    // simulated state); wall-clock cost is recorded and, in smoke mode,
+    // gated at 5 %.
+    let overhead_pct = measure_profile_overhead(smoke, profiling);
+    eprintln!("profile_overhead: {overhead_pct:.2} %");
+
+    let json = to_json(&workloads, &pool_dispatch, smoke, Some(overhead_pct));
     std::fs::write(&out_path, json).expect("write bench output");
     eprintln!("wrote {out_path}");
+
+    if profiling {
+        // Lay each run's host phases on its own track and export a Chrome
+        // trace next to the report.
+        let mut track = 0u32;
+        for w in &workloads {
+            for r in &w.runs {
+                if let Some(p) = &r.profile {
+                    p.emit_trace(track);
+                    track += 1;
+                }
+            }
+        }
+        let events = emerald::obs::trace::drain();
+        let trace_path = out_path
+            .strip_suffix(".json")
+            .map(|s| format!("{s}_trace.json"))
+            .unwrap_or_else(|| format!("{out_path}_trace.json"));
+        std::fs::write(&trace_path, emerald::obs::trace::export_chrome(&events))
+            .expect("write trace output");
+        eprintln!("wrote {trace_path} ({} events)", events.len());
+    }
+
+    if smoke && overhead_pct > 5.0 {
+        eprintln!("FAIL: profiler overhead {overhead_pct:.2} % exceeds the 5 % budget");
+        std::process::exit(1);
+    }
+}
+
+/// Measures the profiler's wall-clock overhead: runs the saxpy sim with
+/// profiling off and on in *interleaved* rounds — back-to-back arms see
+/// the same background load, so host-load drift cancels instead of
+/// landing on one arm — and compares the best sim time of each
+/// (min-of-N damps the remaining scheduler noise). Asserts the simulated
+/// cycle counts match — profiling must be invisible to the model.
+/// Restores the profiling state that was active on entry.
+fn measure_profile_overhead(smoke: bool, was_profiling: bool) -> f64 {
+    let n = if smoke { 1 << 12 } else { 1 << 15 };
+    let rounds = if smoke { 5 } else { 3 };
+    let one = |on: bool| -> (f64, u64) {
+        emerald::obs::prof::set_enabled(on);
+        emerald::obs::prof::reset();
+        let run = bench_saxpy(1, n);
+        (run.phases.sim_ms, run.cycles)
+    };
+    // Warmup both arms: pays one-off costs (cold caches, lazy page
+    // faults, calibration) outside the measurement.
+    let _ = one(false);
+    let _ = one(true);
+    let mut off_ms = f64::INFINITY;
+    let mut on_ms = f64::INFINITY;
+    let mut off_cycles = 0;
+    let mut on_cycles = 0;
+    for _ in 0..rounds {
+        let (ms, c) = one(false);
+        off_ms = off_ms.min(ms);
+        off_cycles = c;
+        let (ms, c) = one(true);
+        on_ms = on_ms.min(ms);
+        on_cycles = c;
+    }
+    emerald::obs::prof::set_enabled(was_profiling);
+    emerald::obs::prof::reset();
+    assert_eq!(
+        off_cycles, on_cycles,
+        "profiling changed simulated cycles — it must never touch the model"
+    );
+    ((on_ms - off_ms) / off_ms * 100.0).max(0.0)
 }
 
 /// Nanoseconds per empty `CorePool::run` at the given width, averaged
@@ -139,7 +263,9 @@ fn bench_render(
         r.draw(binding.draw_for_frame(0, width as f32 / height as f32, false));
         (mem, rt, r, port)
     });
+    emerald::obs::prof::reset();
     let (sim_ms, s) = timed(|| r.run_frame(&mut port, 500_000_000));
+    let profile = take_profile();
     let (readback_ms, fb) = timed(|| {
         let fb = rt.read_color(&mem);
         if let Some(reference) = reference_fb {
@@ -161,6 +287,7 @@ fn bench_render(
             wall_ms: phases.total_ms(),
             cycles: s.cycles,
             phases,
+            profile,
         },
         fb,
     )
@@ -203,7 +330,9 @@ fn bench_saxpy(threads: usize, n: usize) -> Run {
         gpu.launch_kernel(k);
         (gpu, ctx, port, (mem, y))
     });
+    emerald::obs::prof::reset();
     let (sim_ms, cycles) = timed(|| gpu.run_to_idle(0, 500_000_000, &mut ctx, &mut port));
+    let profile = take_profile();
     // Spot-check the tail element so the phase measures a real readback.
     let (readback_ms, _) = timed(|| {
         let (mem, y) = &y;
@@ -221,6 +350,7 @@ fn bench_saxpy(threads: usize, n: usize) -> Run {
         wall_ms: phases.total_ms(),
         cycles,
         phases,
+        profile,
     }
 }
 
@@ -242,7 +372,9 @@ fn bench_soc_frame(threads: usize, smoke: bool) -> Run {
         };
         (m, params)
     });
+    emerald::obs::prof::reset();
     let (sim_ms, res) = timed(|| run_cell(&m, MemCfgKind::Dcb, &params));
+    let profile = take_profile();
     std::env::remove_var("EMERALD_THREADS");
     let phases = PhaseTimes {
         setup_ms,
@@ -254,5 +386,6 @@ fn bench_soc_frame(threads: usize, smoke: bool) -> Run {
         wall_ms: phases.total_ms(),
         cycles: res.avg_total_cycles as u64,
         phases,
+        profile,
     }
 }

@@ -44,6 +44,7 @@
 //! assert!(stats.fragments > 0);
 //! ```
 
+pub mod bench_diff;
 pub mod bench_report;
 
 pub use emerald_common as common;

@@ -1,10 +1,57 @@
 //! Guards the `emerald-bench-v1` report schema: both a synthetic report
 //! built through [`emerald::bench_report`] and the committed
 //! `BENCH_frame.json` must parse with the in-tree strict JSON parser and
-//! carry the fields downstream tooling greps for.
+//! carry the fields downstream tooling greps for. The per-run `profile`
+//! block (host self-profiler, `EMERALD_PROFILE=1`) is optional: reports
+//! without it must keep validating unchanged.
 
 use emerald::bench_report::{to_json, PhaseTimes, PoolDispatch, Run, Workload};
 use emerald::common::json::Json;
+use emerald::obs::prof::{active_bucket_label, ACTIVE_BUCKETS};
+use emerald::obs::{HostPhase, HostProfile};
+
+fn assert_profile_shape(p: &Json) {
+    for field in [
+        "ticks",
+        "sampled_ticks",
+        "loop_ms",
+        "phase_sum_ms",
+        "gpu_cycles",
+        "gpu_zero_active_cycles",
+        "gpu_skippable_cycles",
+        "gpu_skippable_frac",
+        "soc_cycles",
+        "soc_skippable_cycles",
+        "soc_skippable_frac",
+    ] {
+        assert!(
+            p.get(field).and_then(|v| v.as_num()).is_some(),
+            "profile field {field} missing or non-numeric"
+        );
+    }
+    // phases_ns holds only nonzero phases, each keyed by a known name.
+    let known: Vec<&str> = HostPhase::all().iter().map(|p| p.name()).collect();
+    let phases = p.get("phases_ns").expect("phases_ns object");
+    for name in &known {
+        if let Some(v) = phases.get(name) {
+            assert!(v.as_num().is_some(), "phase {name} non-numeric");
+        }
+    }
+    let hist = p.get("active_hist").expect("active_hist object");
+    for b in 0..ACTIVE_BUCKETS {
+        assert!(
+            hist.get(active_bucket_label(b))
+                .and_then(|v| v.as_num())
+                .is_some(),
+            "hist bucket {b} missing"
+        );
+    }
+    let pool = p.get("pool").expect("pool object");
+    for field in ["threads", "runs", "utilization", "imbalance"] {
+        assert!(pool.get(field).and_then(|v| v.as_num()).is_some());
+    }
+    assert!(pool.get("busy_ms").and_then(|v| v.as_arr()).is_some());
+}
 
 fn assert_v1_shape(doc: &Json, require_phases: bool) {
     assert_eq!(
@@ -14,6 +61,10 @@ fn assert_v1_shape(doc: &Json, require_phases: bool) {
     );
     assert!(doc.get("smoke").and_then(|s| s.as_bool()).is_some());
     assert!(doc.get("host_threads").and_then(|s| s.as_num()).is_some());
+    // Optional additions must be numeric when present.
+    if let Some(pct) = doc.get("profile_overhead_pct") {
+        assert!(pct.as_num().is_some(), "profile_overhead_pct non-numeric");
+    }
     let workloads = doc
         .get("workloads")
         .and_then(|w| w.as_arr())
@@ -47,6 +98,9 @@ fn assert_v1_shape(doc: &Json, require_phases: bool) {
                     );
                 }
             }
+            if let Some(p) = r.get("profile") {
+                assert_profile_shape(p);
+            }
         }
         // The 1-thread baseline comes first; speedup there is 1.0 (or 0.0
         // for a degenerate zero-time run, which must still serialize).
@@ -69,9 +123,30 @@ fn assert_v1_shape(doc: &Json, require_phases: bool) {
     }
 }
 
-#[test]
-fn synthetic_report_matches_schema() {
-    let workloads = vec![
+fn synthetic_profile() -> HostProfile {
+    let mut p = HostProfile {
+        ticks: 1220,
+        sampled: 20,
+        gpu_cycles: 1220,
+        gpu_zero_active: 100,
+        gpu_skippable: 60,
+        soc_cycles: 1220,
+        soc_skippable: 300,
+        pool_threads: 4,
+        pool_runs: 800,
+        pool_busy_ns: vec![900_000, 850_000, 870_000, 910_000],
+        ..Default::default()
+    };
+    p.phase_ns[HostPhase::GpuExecute as usize] = 6_000_000;
+    p.phase_ns[HostPhase::GpuDram as usize] = 2_000_000;
+    p.phase_ns[HostPhase::SocMem as usize] = 1_500_000;
+    p.active_hist[0] = 100;
+    p.active_hist[4] = 1120;
+    p
+}
+
+fn synthetic_workloads(with_profile: bool) -> Vec<Workload> {
+    vec![
         Workload {
             name: "alpha",
             runs: vec![
@@ -84,6 +159,7 @@ fn synthetic_report_matches_schema() {
                         sim_ms: 10.0,
                         readback_ms: 0.5,
                     },
+                    profile: with_profile.then(synthetic_profile),
                 },
                 Run {
                     threads: 4,
@@ -94,6 +170,7 @@ fn synthetic_report_matches_schema() {
                         sim_ms: 22.5,
                         readback_ms: 0.5,
                     },
+                    profile: with_profile.then(synthetic_profile),
                 },
             ],
         },
@@ -104,9 +181,15 @@ fn synthetic_report_matches_schema() {
                 wall_ms: 0.0, // degenerate timings must still serialize
                 cycles: 0,
                 phases: PhaseTimes::default(),
+                profile: None,
             }],
         },
-    ];
+    ]
+}
+
+#[test]
+fn synthetic_report_matches_schema() {
+    let workloads = synthetic_workloads(false);
     let dispatch = [
         PoolDispatch {
             threads: 2,
@@ -117,9 +200,12 @@ fn synthetic_report_matches_schema() {
             ns_per_run: 2100.0,
         },
     ];
-    let text = to_json(&workloads, &dispatch, true);
+    let text = to_json(&workloads, &dispatch, true, None);
     let doc = Json::parse(&text).expect("report parses as strict JSON");
     assert_v1_shape(&doc, true);
+
+    // A profile-less report carries neither the optional key nor blocks.
+    assert!(doc.get("profile_overhead_pct").is_none());
 
     // The >1-thread slowdown this breakdown was added for is visible:
     // sim_ms dominates and scales with wall_ms.
@@ -128,6 +214,7 @@ fn synthetic_report_matches_schema() {
         .unwrap()
         .as_arr()
         .unwrap();
+    assert!(runs.iter().all(|r| r.get("profile").is_none()));
     let sim0 = runs[0]
         .get("phases")
         .unwrap()
@@ -146,6 +233,34 @@ fn synthetic_report_matches_schema() {
     assert!(runs[1].get("speedup_vs_1t").unwrap().as_num().unwrap() < 1.0);
 }
 
+#[test]
+fn profiled_report_matches_schema() {
+    let workloads = synthetic_workloads(true);
+    let text = to_json(&workloads, &[], true, Some(1.75));
+    let doc = Json::parse(&text).expect("profiled report parses");
+    assert_v1_shape(&doc, true);
+    assert_eq!(
+        doc.get("profile_overhead_pct").unwrap().as_num().unwrap(),
+        1.75
+    );
+    let runs = doc.get("workloads").unwrap().as_arr().unwrap()[0]
+        .get("runs")
+        .unwrap()
+        .as_arr()
+        .unwrap();
+    let prof = runs[0].get("profile").expect("profile block present");
+    assert_eq!(prof.get("ticks").unwrap().as_num().unwrap(), 1220.0);
+    assert_eq!(
+        prof.get("phases_ns")
+            .unwrap()
+            .get("gpu.execute")
+            .unwrap()
+            .as_num()
+            .unwrap(),
+        6_000_000.0
+    );
+}
+
 /// Validates the real report `scripts/bench.sh` emitted, when present.
 /// `BENCH_frame.json` is gitignored (timings are per-machine), so a fresh
 /// checkout skips; `scripts/ci.sh` re-runs this test right after the bench
@@ -161,5 +276,21 @@ fn emitted_bench_report_parses_when_present() {
         }
     };
     let doc = Json::parse(&text).expect("emitted report parses as strict JSON");
+    assert_v1_shape(&doc, true);
+}
+
+/// The committed CI baseline must always satisfy the schema — `bench_diff`
+/// in CI consumes it every run.
+#[test]
+fn committed_baseline_matches_schema() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scripts/bench_baseline.json");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => {
+            eprintln!("scripts/bench_baseline.json not committed yet; skipping");
+            return;
+        }
+    };
+    let doc = Json::parse(&text).expect("baseline parses as strict JSON");
     assert_v1_shape(&doc, true);
 }

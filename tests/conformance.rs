@@ -108,6 +108,36 @@ fn draw_metamorphic_invariance() {
     });
 }
 
+/// The host self-profiler as a conformance axis: random ISA programs and
+/// draw calls must produce bit-identical observables with profiling
+/// enabled — the profiler reads the simulation and the host clock, never
+/// the other direction.
+#[test]
+fn profiling_axis_is_invisible() {
+    let cases = (conf_cases() / 8).max(4);
+    emerald::obs::prof::set_enabled(true);
+    let result = std::panic::catch_unwind(|| {
+        check_n("profiling_axis", cases, |rng| {
+            let data_seed = rng.next_u64();
+            let gp = gen_program(rng);
+            check_case(&gp, data_seed).expect("program conforms with profiling on");
+            let case = gen_draw(rng);
+            let diff = run_draw_case(&case, &isadiff::base_config());
+            assert_eq!(
+                diff,
+                0,
+                "draw diverges by {diff} pixels with profiling on: {}",
+                case.describe()
+            );
+        });
+    });
+    emerald::obs::prof::set_enabled(false);
+    emerald::obs::prof::reset();
+    if let Err(p) = result {
+        std::panic::resume_unwind(p);
+    }
+}
+
 /// The canary: a deliberately injected ALU bug (`add.u32` → `sub.u32` on
 /// the timing side only) must be caught as a divergence, replay from its
 /// seed, and shrink to a smaller failing program that still contains the

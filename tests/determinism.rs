@@ -102,6 +102,76 @@ fn render_is_identical_across_dispatch_policies() {
     }
 }
 
+/// The host self-profiler reads the simulation but must never perturb it:
+/// with `EMERALD_PROFILE` effectively on, every determinism axis above
+/// (thread count × pool forced-on/forced-off) still matches the
+/// unprofiled reference bit for bit. Profiling is enabled via the same
+/// global the env knob sets, so this is exactly the `EMERALD_PROFILE=1`
+/// vs. unset comparison.
+#[test]
+fn render_is_identical_with_profiling_enabled() {
+    let reference = render_with_dispatch(1, 2);
+    for (threads, thr) in [(1usize, 0usize), (1, usize::MAX), (4, 0), (4, usize::MAX)] {
+        emerald::obs::prof::set_enabled(true);
+        let profiled = render_with_dispatch(threads, thr);
+        let profile = emerald::obs::prof::take();
+        emerald::obs::prof::set_enabled(false);
+        assert!(
+            profile.ticks > 0 && profile.gpu_cycles > 0,
+            "profiler saw no cycles at t={threads} thr={thr}"
+        );
+        assert_eq!(
+            reference.0, profiled.0,
+            "cycle count differs with profiling at t={threads} thr={thr}"
+        );
+        assert_eq!(
+            reference.2, profiled.2,
+            "instruction count differs with profiling at t={threads} thr={thr}"
+        );
+        assert_eq!(
+            reference.3, profiled.3,
+            "retired warps differ with profiling at t={threads} thr={thr}"
+        );
+        assert_eq!(
+            reference.1, profiled.1,
+            "framebuffer differs with profiling at t={threads} thr={thr}"
+        );
+        assert_eq!(
+            reference.4, profiled.4,
+            "registry snapshot differs with profiling at t={threads} thr={thr}"
+        );
+    }
+}
+
+#[test]
+fn soc_frames_identical_with_profiling_enabled() {
+    use emerald::mem::dram::DramConfig as Dram;
+    use emerald::soc::experiment::{run_cell, MemCfgKind, RunParams};
+    let m2 = &emerald::scene::workloads::m_models()[1];
+    let params = RunParams {
+        width: 48,
+        height: 32,
+        frames: 1,
+        dram: Dram::lpddr3_1333(),
+        gpu_frame_period: 200_000,
+        probe_window: None,
+        max_cycles_per_frame: 100_000_000,
+    };
+    let plain = run_cell(m2, MemCfgKind::Dcb, &params);
+    emerald::obs::prof::set_enabled(true);
+    emerald::obs::prof::reset();
+    let profiled = run_cell(m2, MemCfgKind::Dcb, &params);
+    let profile = emerald::obs::prof::take();
+    emerald::obs::prof::set_enabled(false);
+    assert!(profile.soc_cycles > 0, "profiler saw no SoC cycles");
+    assert_eq!(plain.avg_gpu_cycles, profiled.avg_gpu_cycles);
+    assert_eq!(plain.avg_total_cycles, profiled.avg_total_cycles);
+    assert_eq!(
+        plain.display_serviced_bytes,
+        profiled.display_serviced_bytes
+    );
+}
+
 #[test]
 fn soc_frames_are_bit_reproducible() {
     use emerald::mem::dram::DramConfig as Dram;
