@@ -1,0 +1,91 @@
+//! The discrete-event clocking contract.
+//!
+//! Emerald's reference clock ticks every component every cycle. That is
+//! simple and obviously correct, but most SoC cycles are idle: the GPU is
+//! quiescent between draws, DRAM accesses in service carry precomputed
+//! completion cycles, the display DMA sleeps between beam-position
+//! unlocks, and scripted CPUs poll a fence every few hundred cycles. The
+//! [`NextEvent`] trait lets the top-level loop ask each component for the
+//! earliest cycle at which its state can change *of its own accord*, and
+//! jump straight to the minimum instead of grinding through no-op ticks.
+//!
+//! # The contract
+//!
+//! `next_event(now)` returns the earliest cycle `t > now` at which the
+//! component's observable state may change **without any new external
+//! input**, or `None` if the component is fully passive (it will never
+//! change again unless something is pushed into it). The binding
+//! invariant:
+//!
+//! > Ticking the component at every cycle in `(now, t)` with no new
+//! > input must be a state no-op — bit-for-bit, including statistics.
+//!
+//! A component that cannot cheaply prove a quiet stretch simply returns
+//! `Some(now + 1)`, which disables skipping past it; that is always
+//! correct. Reporting an *earlier* cycle than the true next event is
+//! merely conservative (the loop wakes, ticks once, finds nothing, and
+//! asks again). Reporting a *later* cycle is the only unsafe direction:
+//! the loop would jump over a real state transition and silently diverge
+//! from the reference clocking. The oracle harness in `tests/event_skip.rs`
+//! and the conformance skip axis exist to catch exactly that.
+//!
+//! Skipping is gated by `EMERALD_SKIP` (default on); the per-cycle
+//! reference clocking is preserved forever as the oracle's ground truth.
+
+use crate::types::Cycle;
+
+/// A component that can report the next cycle at which it has work.
+///
+/// See the [module documentation](self) for the precise contract and why
+/// under-reporting pending work is the only unsafe direction.
+pub trait NextEvent {
+    /// Earliest cycle `> now` at which this component's state can change
+    /// without new external input; `None` when it is fully passive.
+    fn next_event(&self, now: Cycle) -> Option<Cycle>;
+}
+
+/// Folds two optional event times into the earlier one.
+///
+/// `None` means "no event" and loses to any concrete cycle:
+///
+/// ```
+/// # use emerald_common::event::earliest;
+/// assert_eq!(earliest(None, None), None);
+/// assert_eq!(earliest(Some(5), None), Some(5));
+/// assert_eq!(earliest(None, Some(7)), Some(7));
+/// assert_eq!(earliest(Some(5), Some(7)), Some(5));
+/// ```
+pub fn earliest(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Reads the `EMERALD_SKIP` knob: event-driven time skipping is on by
+/// default; `0`, `off` or `false` (case-insensitive) select the per-cycle
+/// reference clocking.
+pub fn skip_from_env() -> bool {
+    match std::env::var("EMERALD_SKIP") {
+        Ok(v) => {
+            let v = v.trim();
+            !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false"))
+        }
+        Err(_) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_prefers_concrete_and_minimum() {
+        assert_eq!(earliest(None, None), None);
+        assert_eq!(earliest(Some(3), None), Some(3));
+        assert_eq!(earliest(None, Some(3)), Some(3));
+        assert_eq!(earliest(Some(9), Some(3)), Some(3));
+        assert_eq!(earliest(Some(3), Some(9)), Some(3));
+    }
+}

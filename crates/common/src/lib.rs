@@ -15,6 +15,8 @@
 //! * [`fifo`] — bounded queues, the basic plumbing of the timing model.
 //! * [`check`] — a tiny deterministic property-test harness, so randomized
 //!   tests need no external crates (the build must work offline).
+//! * [`event`] — the [`event::NextEvent`] discrete-event clocking contract
+//!   that lets the top-level loops skip provably idle cycles.
 //! * [`json`] — a strict RFC 8259 parser used by schema tests to validate
 //!   the serde-free JSON writers (registry dump, Chrome trace, bench
 //!   report).
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod event;
 pub mod fifo;
 pub mod hash;
 pub mod json;

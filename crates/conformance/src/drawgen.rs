@@ -177,6 +177,13 @@ pub fn gen_draw(rng: &mut Xorshift64) -> DrawCase {
 /// fresh identically cleared targets; returns the number of differing
 /// pixels (0 means conformant).
 pub fn run_draw_case(case: &DrawCase, gpu_cfg: &GpuConfig) -> usize {
+    run_draw_case_timed(case, gpu_cfg).0
+}
+
+/// Like [`run_draw_case`] but also returns the simulated frame cycle
+/// count, so the event-skip axis can assert cycle identity in addition
+/// to pixel identity.
+pub fn run_draw_case_timed(case: &DrawCase, gpu_cfg: &GpuConfig) -> (usize, u64) {
     let mem = SharedMem::with_capacity(1 << 26);
     let rt = RenderTarget::alloc(&mem, RT_SIZE, RT_SIZE);
     rt.clear(&mem, [0.05, 0.05, 0.08, 1.0], 1.0);
@@ -206,9 +213,12 @@ pub fn run_draw_case(case: &DrawCase, gpu_cfg: &GpuConfig) -> usize {
         DramConfig::lpddr3_1600(),
     )));
     r.draw(dc);
-    r.run_frame(&mut port, MAX_FRAME_CYCLES);
+    let stats = r.run_frame(&mut port, MAX_FRAME_CYCLES);
 
-    diff_pixels(&rt.read_color(&mem), &ref_rt.read_color(&mem))
+    (
+        diff_pixels(&rt.read_color(&mem), &ref_rt.read_color(&mem)),
+        stats.cycles,
+    )
 }
 
 /// Shrink candidates for a failing draw: drop the last triangle, simplify

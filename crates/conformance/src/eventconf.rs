@@ -1,0 +1,148 @@
+//! Conformance for the event-driven clocking contract
+//! (`emerald_common::event::NextEvent`).
+//!
+//! The one unsafe direction of the contract is reporting *later* than the
+//! truth: a skip loop would jump past a cycle where the component acts,
+//! silently changing simulated time while every individual run still looks
+//! healthy. The gap oracle here drives a real component (the memory
+//! system) and ticks cycle by cycle through every stretch its `next_event`
+//! declared dead; any response completing inside such a stretch is a
+//! violation. The canary re-runs the same oracle with the reports
+//! artificially delayed by `lag` cycles — an injected under-reporting bug
+//! — which the oracle must catch and the shrinker must minimize.
+
+use emerald_common::event::NextEvent;
+use emerald_common::types::{AccessKind, Cycle, TrafficSource};
+use emerald_mem::req::{MemRequest, ReqIdGen};
+use emerald_mem::{DramConfig, MemorySystem, MemorySystemConfig};
+
+/// A gap-oracle scenario: a burst of `reqs` read requests at `stride`-byte
+/// spacing enters the memory system at cycle 0, after which there is no
+/// external input — so every announced gap must tick as a dead stretch.
+/// `lag` is the injected bug: cycles added to every `next_event` answer
+/// before the oracle trusts it. `lag == 0` is the honest implementation
+/// and must pass.
+#[derive(Debug, Clone)]
+pub struct GapScenario {
+    /// Read requests in the burst.
+    pub reqs: u64,
+    /// Byte stride between consecutive request addresses (line-aligned).
+    pub stride: u64,
+    /// Injected under-report in cycles (0 = honest).
+    pub lag: Cycle,
+}
+
+impl GapScenario {
+    /// One-line summary for failure reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} reqs, stride {:#x}, next_event lagged by {}",
+            self.reqs, self.stride, self.lag
+        )
+    }
+}
+
+/// A detected contract violation: the component completed a request at
+/// `acted` although it had announced nothing before `announced`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapViolation {
+    /// Cycle the component actually acted.
+    pub acted: Cycle,
+    /// The (lagged) wake cycle the oracle had been promised.
+    pub announced: Cycle,
+}
+
+/// Drains `sc`'s burst through a two-channel FR-FCFS memory system,
+/// trusting `next_event + sc.lag` for dead stretches, and reports the
+/// first violation.
+pub fn gap_oracle(sc: &GapScenario) -> Result<(), GapViolation> {
+    let mut ms = MemorySystem::new(MemorySystemConfig::baseline(2, DramConfig::lpddr3_1600()));
+    let mut ids = ReqIdGen::new();
+    for i in 0..sc.reqs {
+        let req = MemRequest {
+            id: ids.next_id(),
+            addr: (i * sc.stride) & !127,
+            bytes: 128,
+            kind: AccessKind::Read,
+            source: TrafficSource::Gpu,
+            issued: 0,
+        };
+        if ms.enqueue(req, 0).is_err() {
+            break; // queues full: a smaller burst is the same scenario
+        }
+    }
+    let mut now: Cycle = 0;
+    while !ms.is_idle() && now < 1_000_000 {
+        ms.tick(now);
+        let _ = ms.drain_finished(now);
+        let Some(truth) = NextEvent::next_event(&ms, now) else {
+            break;
+        };
+        let announced = truth + sc.lag;
+        for c in now + 1..announced {
+            ms.tick(c);
+            if !ms.drain_finished(c).is_empty() {
+                return Err(GapViolation {
+                    acted: c,
+                    announced,
+                });
+            }
+        }
+        now = announced;
+    }
+    Ok(())
+}
+
+/// Shrink candidates for a failing [`GapScenario`]: halve the burst, the
+/// stride and the lag, one axis at a time. The minimizer keeps only
+/// candidates that still violate, so the lag never shrinks to the honest 0.
+pub fn shrink_gap_candidates(sc: &GapScenario) -> Vec<GapScenario> {
+    let mut out = Vec::new();
+    if sc.reqs > 1 {
+        out.push(GapScenario {
+            reqs: sc.reqs / 2,
+            ..sc.clone()
+        });
+    }
+    if sc.stride > 128 {
+        out.push(GapScenario {
+            stride: (sc.stride / 2).max(128),
+            ..sc.clone()
+        });
+    }
+    if sc.lag > 1 {
+        out.push(GapScenario {
+            lag: sc.lag / 2,
+            ..sc.clone()
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_reports_pass_the_oracle() {
+        for reqs in [1, 8, 32] {
+            gap_oracle(&GapScenario {
+                reqs,
+                stride: 4096,
+                lag: 0,
+            })
+            .expect("honest next_event must conform");
+        }
+    }
+
+    #[test]
+    fn lagged_reports_are_violations() {
+        let v = gap_oracle(&GapScenario {
+            reqs: 16,
+            stride: 4096,
+            lag: 4,
+        })
+        .expect_err("lagged next_event must be caught");
+        assert!(v.acted < v.announced);
+    }
+}

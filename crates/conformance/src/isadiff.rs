@@ -95,13 +95,16 @@ fn kernel_for(gp: &GenProgram, layout: &Layout) -> Kernel {
 }
 
 /// Runs `gp` on the full timing model under `cfg` and returns the
-/// functional observables, or a [`Divergence::Hang`].
+/// functional observables plus the simulated cycle count, or a
+/// [`Divergence::Hang`]. The cycle count is not part of [`RunResult`]
+/// because the scalar reference has no clock; it is compared *within* the
+/// timing model across the event-skip axis, where it must be identical.
 pub fn run_timing(
     gp: &GenProgram,
     data_seed: u64,
     cfg: &GpuConfig,
     label: &str,
-) -> Result<RunResult, Divergence> {
+) -> Result<(RunResult, u64), Divergence> {
     let layout = init_mem(gp, data_seed);
     let mut gpu = Gpu::new(cfg.clone());
     let mut ctx = GlobalMemCtx::new(layout.mem.clone());
@@ -110,20 +113,23 @@ pub fn run_timing(
         DramConfig::lpddr3_1600(),
     )));
     let id = gpu.launch_kernel(kernel_for(gp, &layout));
-    gpu.run_to_idle(0, MAX_CYCLES, &mut ctx, &mut port);
+    let cycles = gpu.run_to_idle(0, MAX_CYCLES, &mut ctx, &mut port);
     if !gpu.kernel_done(id) {
         return Err(Divergence::Hang {
             label: label.to_string(),
         });
     }
     let s = gpu.stats();
-    Ok(RunResult {
-        out_bytes: layout
-            .mem
-            .read(|m| m.read_bytes(layout.out_base, gp.out_bytes()).to_vec()),
-        instructions: s.issued,
-        warps_retired: s.warps_retired,
-    })
+    Ok((
+        RunResult {
+            out_bytes: layout
+                .mem
+                .read(|m| m.read_bytes(layout.out_base, gp.out_bytes()).to_vec()),
+            instructions: s.issued,
+            warps_retired: s.warps_retired,
+        },
+        cycles,
+    ))
 }
 
 /// Runs `gp` through the scalar reference walk on an identically seeded
@@ -233,23 +239,67 @@ pub fn config_matrix() -> Vec<(&'static str, GpuConfig)> {
     let mut small_l2 = base.clone();
     small_l2.l2.size_bytes /= 4;
     out.push(("quarter_l2", small_l2));
+    // Event-skip axis, pinned explicitly (the other entries inherit
+    // `EMERALD_SKIP`, so CI covers them under both modes).
+    let mut skip_off = base.clone();
+    skip_off.event_skip = false;
+    out.push(("skip_off", skip_off));
+    let mut skip_on = base;
+    skip_on.event_skip = true;
+    out.push(("skip_on", skip_on));
     out
+}
+
+/// The dispatch points the event-skip axis is crossed with in
+/// [`check_case_matrix`]: host threads 1/2/4 with the worker pool forced
+/// on every non-empty cycle and forbidden entirely.
+pub fn skip_dispatch_points() -> Vec<(&'static str, usize, usize)> {
+    vec![
+        ("t1", 1, emerald_gpu::config::DEFAULT_PARALLEL_THRESHOLD),
+        ("t2_pool_forced", 2, 0),
+        ("t2_pool_never", 2, usize::MAX),
+        ("t4_pool_forced", 4, 0),
+        ("t4_pool_never", 4, usize::MAX),
+    ]
 }
 
 /// Full differential check of one case under the baseline configuration.
 pub fn check_case(gp: &GenProgram, data_seed: u64) -> Result<(), Divergence> {
     let want = run_ref(gp, data_seed);
-    let got = run_timing(gp, data_seed, &base_config(), "timing_vs_ref")?;
+    let (got, _) = run_timing(gp, data_seed, &base_config(), "timing_vs_ref")?;
     compare("timing_vs_ref", &got, &want)
 }
 
 /// Metamorphic check: every configuration in the matrix must produce the
-/// reference observables.
+/// reference observables, and across the event-skip axis — at every
+/// dispatch point in [`skip_dispatch_points`] — the *simulated cycle
+/// count* must additionally be bit-identical (skipping may never change
+/// time, only how the host reaches it).
 pub fn check_case_matrix(gp: &GenProgram, data_seed: u64) -> Result<(), Divergence> {
     let want = run_ref(gp, data_seed);
     for (label, cfg) in config_matrix() {
-        let got = run_timing(gp, data_seed, &cfg, label)?;
+        let (got, _) = run_timing(gp, data_seed, &cfg, label)?;
         compare(label, &got, &want)?;
+    }
+    for (dlabel, threads, thr) in skip_dispatch_points() {
+        let mut off = base_config();
+        off.threads = threads;
+        off.parallel_threshold = thr;
+        off.event_skip = false;
+        let mut on = off.clone();
+        on.event_skip = true;
+        let label_off = format!("skip_off_{dlabel}");
+        let label_on = format!("skip_on_{dlabel}");
+        let (got_off, cycles_off) = run_timing(gp, data_seed, &off, &label_off)?;
+        compare(&label_off, &got_off, &want)?;
+        let (got_on, cycles_on) = run_timing(gp, data_seed, &on, &label_on)?;
+        compare(&label_on, &got_on, &want)?;
+        if cycles_off != cycles_on {
+            return Err(Divergence::Mismatch {
+                label: format!("skip_axis_{dlabel}"),
+                detail: format!("  cycles: {cycles_on} (skip on) vs {cycles_off} (skip off)\n"),
+            });
+        }
     }
     Ok(())
 }
@@ -298,7 +348,7 @@ pub fn check_with_injected_bug(
     data_seed: u64,
 ) -> Result<(), Divergence> {
     let want = run_ref(gp, data_seed);
-    let got = run_timing(
+    let (got, _) = run_timing(
         &mutate_at(gp, idx),
         data_seed,
         &base_config(),

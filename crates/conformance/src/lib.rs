@@ -15,6 +15,8 @@
 //!   and the injected-ALU-bug canary.
 //! - [`drawgen`] generates random draw calls / render state and diffs
 //!   hardware frames pixel-exact against `emerald_core::reference`.
+//! - [`eventconf`] checks the `NextEvent` event-skip contract with a gap
+//!   oracle and an injected under-reporting canary.
 //!
 //! Failures replay from a single case seed (see
 //! `emerald_common::check`) and are shrunk with
@@ -23,14 +25,16 @@
 #![warn(missing_docs)]
 
 pub mod drawgen;
+pub mod eventconf;
 pub mod isadiff;
 pub mod proggen;
 pub mod refmodel;
 
-pub use drawgen::{gen_draw, run_draw_case, shrink_draw_candidates, DrawCase};
+pub use drawgen::{gen_draw, run_draw_case, run_draw_case_timed, shrink_draw_candidates, DrawCase};
+pub use eventconf::{gap_oracle, shrink_gap_candidates, GapScenario, GapViolation};
 pub use isadiff::{
     base_config, bug_site, check_case, check_case_matrix, check_with_injected_bug, config_matrix,
-    mutate_at, run_ref, run_timing, Divergence, RunResult,
+    mutate_at, run_ref, run_timing, skip_dispatch_points, Divergence, RunResult,
 };
 pub use proggen::{gen_program, shrink_candidates, GenProgram};
 pub use refmodel::{run_reference, RefResult};

@@ -671,12 +671,18 @@ impl GpuRenderer {
 
     /// Runs all queued draws to completion; returns the per-frame stats.
     ///
+    /// With `GpuConfig::event_skip` on, cycles the renderer provably
+    /// spends waiting on nothing (per the
+    /// [`emerald_common::event::NextEvent`] contract) are jumped rather
+    /// than ticked; stats and images are bit-identical either way.
+    ///
     /// # Panics
     ///
     /// Panics if the pipeline fails to drain within `max_cycles`.
     pub fn run_frame(&mut self, port: &mut dyn MemPort, max_cycles: Cycle) -> FrameStats {
         self.begin_frame();
         let start = self.clock;
+        let skip = self.gpu.config().event_skip;
         let prof_loop = emerald_obs::prof::loop_enter();
         while !self.is_idle() {
             emerald_obs::prof::tick();
@@ -686,6 +692,23 @@ impl GpuRenderer {
                 self.clock - start < max_cycles,
                 "frame did not drain in {max_cycles} cycles"
             );
+            if skip && !self.is_idle() {
+                // `is_idle` guard: the frame can drain while writes are
+                // still in flight; jumping to their completions after the
+                // last real event would inflate the frame's cycle count
+                // relative to the per-cycle reference.
+                let wake = emerald_common::event::earliest(
+                    emerald_common::event::NextEvent::next_event(self, self.clock - 1),
+                    port.next_event(self.clock - 1),
+                );
+                if let Some(t) = wake {
+                    if t > self.clock {
+                        let jump = (t - self.clock).min(start + max_cycles - self.clock);
+                        emerald_obs::prof::record_gpu_skip(jump);
+                        self.clock += jump;
+                    }
+                }
+            }
         }
         emerald_obs::prof::loop_exit(prof_loop);
         emerald_obs::trace::span(
@@ -749,6 +772,21 @@ impl GpuRenderer {
         }
         fs.l2_misses = self.gpu.l2().stats().misses();
         fs
+    }
+}
+
+impl emerald_common::event::NextEvent for GpuRenderer {
+    /// The renderer's fixed-function stages (VPO, PMRB, raster, TC
+    /// flush timers, warp launch) make per-cycle decisions whenever a
+    /// draw is current or queued, so the clock is pinned to `now + 1`
+    /// for the whole draw; between draws the GPU's own contract
+    /// decides. Draw submission itself is an external input and is the
+    /// caller's event to account for.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.cur.is_some() || !self.queue.is_empty() {
+            return Some(now + 1);
+        }
+        emerald_common::event::NextEvent::next_event(&self.gpu, now)
     }
 }
 

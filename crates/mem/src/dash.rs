@@ -210,6 +210,18 @@ impl DashShared {
     pub fn is_urgent(&self, source: TrafficSource) -> bool {
         self.urgent.contains(&source)
     }
+
+    /// The next shuffle/switch/quantum rollover. These boundaries *drift*
+    /// (each rollover re-arms at `now + interval`) and the switch rollover
+    /// draws from the shared RNG, so the event-driven clock must execute
+    /// the cycle each one lands on — skipping past a boundary would shift
+    /// every later boundary and desynchronize the RNG stream from the
+    /// per-cycle reference clocking.
+    pub fn next_boundary(&self) -> Cycle {
+        self.next_shuffle
+            .min(self.next_switch)
+            .min(self.next_quantum)
+    }
 }
 
 /// Handle owned by the SoC for feeding DASH its deadline information.
@@ -328,6 +340,10 @@ impl DramScheduler for DashScheduler {
 
     fn tick(&mut self, now: Cycle) {
         self.shared.borrow_mut().roll(now);
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(self.shared.borrow().next_boundary().max(now + 1))
     }
 }
 

@@ -313,6 +313,24 @@ impl DramChannel {
     }
 }
 
+impl emerald_common::event::NextEvent for DramChannel {
+    /// A channel with a non-empty scheduling queue makes a decision every
+    /// cycle, so it pins the clock to `now + 1`. Otherwise the only
+    /// things that can happen are in-service accesses completing (their
+    /// cycles were precomputed at issue) and scheduler housekeeping
+    /// rollovers — both known in advance.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.queue.is_empty() {
+            return Some(now + 1);
+        }
+        let mut ev = self.scheduler.next_event(now);
+        for &(done, _) in &self.in_service {
+            ev = emerald_common::event::earliest(ev, Some(done.max(now + 1)));
+        }
+        ev
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,5 +486,62 @@ mod tests {
         assert_eq!(resp.len(), 1); // completion is still reported
         assert_eq!(ch.stats().reads_serviced, 0);
         assert_eq!(ch.stats().serviced, 1);
+    }
+
+    #[test]
+    fn next_event_wakes_exactly_at_completion() {
+        use emerald_common::event::NextEvent;
+        let (mut ch, map) = channel();
+        ch.enqueue(req(1, 0x1000), map.decode(0x1000), 0).unwrap();
+        // A queued request pins the clock: the scheduler decides next cycle.
+        assert_eq!(NextEvent::next_event(&ch, 0), Some(1));
+        ch.tick(0); // enters service; completion cycle is precomputed
+        let done = NextEvent::next_event(&ch, 0).expect("in-service access is a known event");
+        let cfg = DramConfig::lpddr3_1333();
+        assert_eq!(done, (cfg.t_rcd + cfg.t_cl + cfg.burst_cycles) as Cycle);
+        // The whole gap up to the announced wake is dead...
+        for c in 1..done {
+            ch.tick(c);
+            assert!(ch.pop_finished(c).is_empty(), "completed early at {c}");
+            assert_eq!(NextEvent::next_event(&ch, c), Some(done));
+        }
+        // ...and the wake cycle delivers exactly on time.
+        ch.tick(done);
+        assert_eq!(ch.pop_finished(done).len(), 1);
+        assert!(ch.is_idle());
+        assert_eq!(
+            NextEvent::next_event(&ch, done),
+            None,
+            "idle FR-FCFS channel is fully passive"
+        );
+    }
+
+    #[test]
+    fn simultaneous_completions_share_one_wake() {
+        use emerald_common::event::{earliest, NextEvent};
+        let (mut a, map) = channel();
+        let (mut b, _) = channel();
+        a.enqueue(req(1, 0x1000), map.decode(0x1000), 0).unwrap();
+        b.enqueue(req(2, 0x1000), map.decode(0x1000), 0).unwrap();
+        a.tick(0);
+        b.tick(0);
+        // Identical requests on identical channels complete at the same
+        // cycle, so the combined wake is a single shared event.
+        let ta = NextEvent::next_event(&a, 0).unwrap();
+        let tb = NextEvent::next_event(&b, 0).unwrap();
+        assert_eq!(ta, tb);
+        let wake = earliest(NextEvent::next_event(&a, 0), NextEvent::next_event(&b, 0)).unwrap();
+        for c in 1..wake {
+            a.tick(c);
+            b.tick(c);
+            assert!(a.pop_finished(c).is_empty() && b.pop_finished(c).is_empty());
+        }
+        a.tick(wake);
+        b.tick(wake);
+        assert_eq!(
+            a.pop_finished(wake).len() + b.pop_finished(wake).len(),
+            2,
+            "both components act at the shared wake cycle"
+        );
     }
 }

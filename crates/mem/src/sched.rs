@@ -64,6 +64,18 @@ pub trait DramScheduler: fmt::Debug {
     fn tick(&mut self, now: Cycle) {
         let _ = now;
     }
+
+    /// Earliest cycle `> now` at which [`DramScheduler::tick`] does
+    /// something even with an empty queue (quantum/window rollovers), or
+    /// `None` when ticking an idle channel is a no-op. Part of the
+    /// `emerald_common::event::NextEvent` contract: returning a cycle
+    /// *later* than the true rollover would let the event-driven clock
+    /// skip over it and diverge from the reference clocking. Default:
+    /// no housekeeping, hence no events.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let _ = now;
+        None
+    }
 }
 
 /// First-Ready, First-Come-First-Served: prefer the oldest row-buffer hit;

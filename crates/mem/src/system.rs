@@ -14,6 +14,7 @@ use crate::dram::{ChannelStats, DramChannel, DramConfig};
 use crate::mapping::AddressMapping;
 use crate::req::{MemRequest, MemResponse};
 use crate::sched::FrFcfs;
+use emerald_common::event::NextEvent;
 use emerald_common::types::{Cycle, TrafficSource};
 use emerald_obs::{Registry, Timeline};
 
@@ -418,6 +419,19 @@ impl MemorySystem {
     }
 }
 
+impl NextEvent for MemorySystem {
+    /// Earliest event across all channels: the next in-service completion
+    /// or scheduler rollover, or `now + 1` while any scheduling queue is
+    /// non-empty (see [`DramChannel`]'s impl).
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut ev = None;
+        for ch in &self.channels {
+            ev = emerald_common::event::earliest(ev, ch.next_event(now));
+        }
+        ev
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -578,5 +592,51 @@ mod tests {
             mapping: AddressMapping::baseline(4),
         };
         MemorySystem::new(cfg);
+    }
+
+    #[test]
+    fn next_event_tracks_first_completion_exactly() {
+        let mut ms = MemorySystem::new(MemorySystemConfig::baseline(2, DramConfig::lpddr3_1333()));
+        ms.enqueue(read(1, 0x1000, TrafficSource::Gpu), 0).unwrap();
+        assert_eq!(
+            NextEvent::next_event(&ms, 0),
+            Some(1),
+            "queued request pins the clock"
+        );
+        ms.tick(0);
+        assert!(ms.drain_finished(0).is_empty());
+        let wake = NextEvent::next_event(&ms, 0).expect("completion is a known event");
+        assert!(wake > 1, "a DRAM access takes many cycles");
+        for c in 1..wake {
+            ms.tick(c);
+            assert!(ms.drain_finished(c).is_empty(), "completed early at {c}");
+        }
+        ms.tick(wake);
+        assert_eq!(
+            ms.drain_finished(wake).len(),
+            1,
+            "response lands exactly at the announced wake"
+        );
+        assert!(ms.is_idle());
+        assert_eq!(
+            NextEvent::next_event(&ms, wake),
+            None,
+            "idle FR-FCFS system is fully passive"
+        );
+    }
+
+    #[test]
+    fn idle_dash_system_still_has_boundary_events() {
+        // DASH rolls shuffling/switching/quantum state at fixed boundaries
+        // and draws from its RNG at switches, so even an idle system must
+        // report a finite next event — skipping over a boundary would
+        // desynchronize the RNG stream vs. the per-cycle reference.
+        let ms = MemorySystem::new(MemorySystemConfig::dash(
+            2,
+            DramConfig::lpddr3_1333(),
+            DashConfig::paper(Clustering::CpuOnly),
+        ));
+        let wake = NextEvent::next_event(&ms, 0).expect("DASH boundaries are events");
+        assert!(wake > 0 && wake <= DashConfig::paper(Clustering::CpuOnly).scheduling_unit);
     }
 }

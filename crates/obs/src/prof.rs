@@ -366,6 +366,41 @@ pub fn record_soc_cycle(skippable: bool) {
     });
 }
 
+/// Batch GPU accounting for `n` event-skipped cycles. A skipped GPU
+/// cycle is by construction quiescent with an empty active set, so this
+/// books exactly what `n` calls to `record_gpu_cycle(0, true)` would
+/// have — profiles stay bit-identical whether time was ticked or
+/// jumped. Checks [`enabled`] internally (skips are batched, so the
+/// extra check is off the per-cycle path).
+#[inline]
+pub fn record_gpu_skip(n: u64) {
+    if !enabled() {
+        return;
+    }
+    ACC.with(|a| {
+        let a = &mut *a.borrow_mut();
+        a.gpu_cycles += n;
+        a.active_hist[0] += n;
+        a.gpu_zero_active += n;
+        a.gpu_skippable += n;
+    });
+}
+
+/// Batch SoC accounting for `n` event-skipped cycles: what `n` calls to
+/// `record_soc_cycle(true)` would have booked (a cycle is only skipped
+/// when it is skippable). Checks [`enabled`] internally.
+#[inline]
+pub fn record_soc_skip(n: u64) {
+    if !enabled() {
+        return;
+    }
+    ACC.with(|a| {
+        let a = &mut *a.borrow_mut();
+        a.soc_cycles += n;
+        a.soc_skippable += n;
+    });
+}
+
 /// Adds busy nanoseconds for a pool shard (worker threads call this; the
 /// counters are global atomics, not thread-locals).
 #[inline]
@@ -712,6 +747,30 @@ mod tests {
         assert_eq!(p.soc_cycles, 3);
         assert_eq!(p.soc_skippable, 2);
         assert!((p.soc_skippable_frac() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skip_records_match_per_cycle_clocking() {
+        let _g = locked();
+        set_enabled(true);
+        reset();
+        for _ in 0..5 {
+            record_gpu_cycle(0, true);
+        }
+        record_soc_cycle(true);
+        record_soc_cycle(true);
+        let ticked = take();
+        reset();
+        record_gpu_skip(5);
+        record_soc_skip(2);
+        let skipped = take();
+        set_enabled(false);
+        assert_eq!(ticked.gpu_cycles, skipped.gpu_cycles);
+        assert_eq!(ticked.gpu_zero_active, skipped.gpu_zero_active);
+        assert_eq!(ticked.gpu_skippable, skipped.gpu_skippable);
+        assert_eq!(ticked.active_hist, skipped.active_hist);
+        assert_eq!(ticked.soc_cycles, skipped.soc_cycles);
+        assert_eq!(ticked.soc_skippable, skipped.soc_skippable);
     }
 
     #[test]

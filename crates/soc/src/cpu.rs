@@ -134,6 +134,9 @@ impl CpuStats {
     }
 }
 
+/// Cycles between fence polls while a core sits in [`Phase::WaitGpu`].
+const POLL_INTERVAL: u32 = 256;
+
 /// State the SoC reads after ticking a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CpuEvent {
@@ -366,13 +369,66 @@ impl CpuCoreModel {
                 } else {
                     // Sparse fence polling.
                     self.poll_counter += 1;
-                    if self.poll_counter >= 256 {
+                    if self.poll_counter >= POLL_INTERVAL {
                         self.poll_counter = 0;
                         self.issue_access(self.arena, AccessKind::Read, ids, now);
                     }
                 }
                 CpuEvent::None
             }
+        }
+    }
+
+    /// Earliest cycle `> now` at which ticking this core is *not* a state
+    /// no-op, given the current `gpu_frame_done` level (the SoC re-queries
+    /// whenever that input changes, so it is part of the component's
+    /// observable environment rather than a future event to predict).
+    ///
+    /// The only phase with a computable quiet stretch is an unsatisfied
+    /// `WaitGpu`: every tick bumps `poll_counter` (replayed analytically
+    /// by [`CpuCoreModel::fast_forward`]) and the next observable action
+    /// is the fence poll when the counter reaches [`POLL_INTERVAL`].
+    /// `Work`/`IssueDraw` phases act every cycle, a stalled core burns a
+    /// `stall_cycles` counter every cycle, and pending output must drain —
+    /// all of those pin the clock to `now + 1`. A core at frame end is
+    /// fully passive.
+    pub fn next_event(&self, now: Cycle, gpu_frame_done: bool) -> Option<Cycle> {
+        if self.at_frame_end {
+            return None;
+        }
+        if !self.out.is_empty() || self.outstanding >= self.max_outstanding {
+            return Some(now + 1);
+        }
+        match self.workload.phases.get(self.phase_idx) {
+            Some(Phase::WaitGpu) if !gpu_frame_done => {
+                Some(now + (POLL_INTERVAL - self.poll_counter) as Cycle)
+            }
+            _ => Some(now + 1),
+        }
+    }
+
+    /// Replays `cycles` consecutive no-op ticks analytically. Callers must
+    /// only skip up to (not across) the cycle reported by
+    /// [`CpuCoreModel::next_event`]; within that window the only state the
+    /// per-cycle reference clocking would touch is the `WaitGpu` poll
+    /// counter.
+    pub fn fast_forward(&mut self, cycles: Cycle) {
+        if cycles == 0 || self.at_frame_end {
+            return;
+        }
+        debug_assert!(
+            self.out.is_empty() && self.outstanding < self.max_outstanding,
+            "skipped across a busy/stalled core"
+        );
+        match self.workload.phases.get(self.phase_idx) {
+            Some(Phase::WaitGpu) => {
+                self.poll_counter += cycles as u32;
+                debug_assert!(
+                    self.poll_counter < POLL_INTERVAL,
+                    "skipped across a fence poll"
+                );
+            }
+            _ => debug_assert!(false, "skipped across an active phase"),
         }
     }
 }
@@ -472,6 +528,46 @@ mod tests {
             heavy.stats().mem_requests,
             light.stats().mem_requests
         );
+    }
+
+    #[test]
+    fn fence_poll_wake_is_exact() {
+        let m = mem();
+        let mut ids = ReqIdGen::new();
+        let wl = CpuWorkload {
+            phases: vec![Phase::WaitGpu],
+        };
+        let mut cpu = CpuCoreModel::new(0, wl.clone(), &m, 6);
+
+        // A fresh waiting core announces the fence poll exactly.
+        let t = cpu.next_event(0, false).unwrap();
+        assert_eq!(t, POLL_INTERVAL as Cycle);
+        for now in 1..t {
+            cpu.tick(now, false, &mut ids);
+            assert!(
+                cpu.drain_requests().is_empty(),
+                "request before announced poll at {now}"
+            );
+        }
+        cpu.tick(t, false, &mut ids);
+        let reqs = cpu.drain_requests();
+        assert_eq!(reqs.len(), 1, "the poll cycle issues the fence read");
+        cpu.on_response();
+
+        // A twin that fast-forwards the announced-dead gap lands in the
+        // identical state: the tick at `t` issues the same fence read.
+        let mut twin = CpuCoreModel::new(0, wl, &m, 7);
+        twin.fast_forward(t - 1);
+        twin.tick(t, false, &mut ids);
+        assert_eq!(twin.drain_requests().len(), 1);
+        twin.on_response();
+
+        // Once the GPU signals done the script advances, the core reaches
+        // frame end, and it goes fully passive (no more wakes).
+        cpu.tick(t + 1, true, &mut ids);
+        cpu.tick(t + 2, true, &mut ids);
+        assert!(cpu.at_frame_end());
+        assert_eq!(cpu.next_event(t + 2, true), None);
     }
 
     #[test]

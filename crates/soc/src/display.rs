@@ -210,6 +210,42 @@ impl DisplayController {
     }
 }
 
+impl emerald_common::event::NextEvent for DisplayController {
+    /// With requests pending the controller is pinned to `now + 1` (it
+    /// prefetches or re-issues every cycle). Otherwise the next things
+    /// that can happen without external input are (a) the abort-retry
+    /// point, (b) the period boundary, and (c) the beam advancing far
+    /// enough to unlock the next prefetch — all computable in closed form
+    /// from the uniform-beam equation `beam = fb_bytes * elapsed / period`.
+    /// An underrun cannot occur while nothing is pending: with no reads in
+    /// flight, `returned` has caught up with `fetch_pos`, which
+    /// contradicts the underrun condition (`fetch_pos >= beam` and
+    /// `beam > returned + fifo_bytes`).
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.has_pending() {
+            return Some(now + 1);
+        }
+        if let Some(t) = self.aborted_until {
+            return Some(t.max(now + 1));
+        }
+        let mut ev = self.frame_start + self.period;
+        if self.fetch_pos < self.fb_bytes {
+            // Prefetch unlocks when `fetch_pos < beam + fifo_bytes`, i.e.
+            // `beam >= fetch_pos - fifo_bytes + 1`; the smallest elapsed
+            // with `floor(fb_bytes * elapsed / period) >= target` is
+            // `ceil(target * period / fb_bytes)`.
+            let target = (self.fetch_pos + 1).saturating_sub(self.fifo_bytes);
+            let unlock = if target == 0 {
+                now + 1
+            } else {
+                self.frame_start + (target * self.period).div_ceil(self.fb_bytes)
+            };
+            ev = ev.min(unlock);
+        }
+        Some(ev.max(now + 1))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +293,55 @@ mod tests {
             }
         }
         assert_eq!(addrs.len() as u64, fb / 128);
+    }
+
+    #[test]
+    fn next_event_wakes_exactly_at_next_action() {
+        use emerald_common::event::NextEvent;
+        let mut d = DisplayController::new(0x1000, 64 << 10, 10_000);
+        let mut ids = ReqIdGen::new();
+        let mut now = 0;
+        let mut exact_wakes = 0;
+        while now < 25_000 {
+            d.tick(now, &mut ids);
+            for r in d.drain_requests() {
+                d.on_response(r.bytes); // instant memory
+            }
+            let before = d.stats();
+            let t = NextEvent::next_event(&d, now).unwrap();
+            assert!(t > now);
+            if t > now + 1 {
+                // The announced gap is dead...
+                for c in now + 1..t {
+                    d.tick(c, &mut ids);
+                    assert!(
+                        d.drain_requests().is_empty(),
+                        "issued at {c} before announced wake {t}"
+                    );
+                }
+                // ...and the wake cycle itself performs a visible action
+                // (a prefetch batch or a period rollover) — the closed
+                // form is exact, not merely conservative.
+                d.tick(t, &mut ids);
+                let reqs = d.drain_requests();
+                let after = d.stats();
+                assert!(
+                    !reqs.is_empty()
+                        || after.frames_completed != before.frames_completed
+                        || after.frames_aborted != before.frames_aborted,
+                    "wake at {t} was a no-op"
+                );
+                for r in &reqs {
+                    d.on_response(r.bytes);
+                }
+                exact_wakes += 1;
+                now = t + 1;
+            } else {
+                now += 1;
+            }
+        }
+        assert!(exact_wakes > 10, "only {exact_wakes} exact wakes observed");
+        assert_eq!(d.stats().frames_aborted, 0);
     }
 
     #[test]

@@ -256,6 +256,7 @@ impl Soc {
         let mut gpu_cycles = 0;
         let mut gpu_active = false;
         let mut gpu_done = false;
+        let skip = self.cfg.gpu.event_skip;
 
         let prof_loop = emerald_obs::prof::loop_enter();
         loop {
@@ -363,6 +364,67 @@ impl Soc {
                 now - frame_start < max_cycles,
                 "SoC frame exceeded {max_cycles} cycles"
             );
+
+            // Event-driven skip: jump the clock to the earliest cycle at
+            // which *any* component can act without new input. Every
+            // component's `next_event` obeys the contract in
+            // `emerald_common::event` (ticking it sooner is a bit-for-bit
+            // no-op), so the jump is invisible to simulated state. The
+            // per-cycle path above remains the reference clocking
+            // (EMERALD_SKIP=0).
+            // Components are queried cheapest-pin-first and the whole
+            // check bails as soon as anything pins `now + 1`, so the
+            // per-cycle cost of an unskippable cycle (the common case in
+            // dense frames) is a few flag reads.
+            'skip: {
+                if !skip {
+                    break 'skip;
+                }
+                let pin = Some(now + 1);
+                let mut wake = emerald_common::event::NextEvent::next_event(&self.renderer, now);
+                if wake == pin || !self.gpu_resp.is_empty() {
+                    // In-flight draw / GPU work, or responses the GPU must
+                    // consume next cycle.
+                    break 'skip;
+                }
+                for c in &self.cpus {
+                    wake = emerald_common::event::earliest(wake, c.next_event(now, gpu_done));
+                    if wake == pin {
+                        break 'skip;
+                    }
+                }
+                wake = emerald_common::event::earliest(
+                    wake,
+                    emerald_common::event::NextEvent::next_event(&self.display, now),
+                );
+                if wake == pin {
+                    break 'skip;
+                }
+                wake = emerald_common::event::earliest(
+                    wake,
+                    emerald_common::event::NextEvent::next_event(&self.memsys, now),
+                );
+                if self.memsys.dash().is_some() {
+                    // DASH deadline feedback fires at interval multiples
+                    // and mutates scheduler state, so boundaries are
+                    // mandatory events.
+                    let fi = self.cfg.feedback_interval;
+                    wake = emerald_common::event::earliest(wake, Some((now / fi + 1) * fi));
+                }
+                // Cap at the watchdog cycle so a deadlocked frame still
+                // panics at the same simulated time as the reference.
+                let wake = wake
+                    .unwrap_or(frame_start + max_cycles)
+                    .min(frame_start + max_cycles);
+                if wake > now + 1 {
+                    let delta = wake - 1 - now;
+                    for c in &mut self.cpus {
+                        c.fast_forward(delta);
+                    }
+                    self.now += delta;
+                    emerald_obs::prof::record_soc_skip(delta);
+                }
+            }
         }
         emerald_obs::prof::loop_exit(prof_loop);
 

@@ -16,8 +16,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test"
-cargo test --workspace -q
+echo "==> cargo test (EMERALD_SKIP=1, event-driven clocking — the default)"
+EMERALD_SKIP=1 cargo test --workspace -q
+
+echo "==> cargo test (EMERALD_SKIP=0, per-cycle reference clocking)"
+EMERALD_SKIP=0 cargo test --workspace -q
 
 echo "==> determinism suite at EMERALD_THREADS=4"
 EMERALD_THREADS=4 cargo test --release --test determinism -q
@@ -30,6 +33,9 @@ EMERALD_THREADS=4 EMERALD_PAR_THRESHOLD=max cargo test --release --test determin
 
 echo "==> conformance suite (32 random programs/draws, differential + metamorphic)"
 EMERALD_CONF_CASES=32 cargo test --release --test conformance -q
+
+echo "==> event-skip oracle suite (skip-on vs skip-off lockstep + gap oracles)"
+cargo test --release --test event_skip -q
 
 echo "==> examples smoke test"
 cargo run --release --example trace_export >/dev/null
@@ -59,5 +65,9 @@ cargo run --release --quiet --bin bench_diff -- scripts/bench_baseline.json BENC
 
 echo "==> bench_diff: profiled vs unprofiled smoke (cycles must be identical)"
 cargo run --release --quiet --bin bench_diff -- BENCH_frame.json BENCH_profile.json --no-wall
+
+echo "==> bench_diff: skip-off vs skip-on smoke (simulated cycles must be identical)"
+EMERALD_SKIP=0 ./scripts/bench.sh --smoke --out BENCH_skipoff.json >/dev/null 2>&1
+cargo run --release --quiet --bin bench_diff -- BENCH_frame.json BENCH_skipoff.json --no-wall
 
 echo "CI gate passed."

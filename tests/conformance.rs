@@ -10,8 +10,9 @@ use emerald::common::check::{check_n, minimize};
 use emerald::common::rng::Xorshift64;
 use emerald_conformance::isadiff::{self, shrink_failing};
 use emerald_conformance::{
-    check_case, check_case_matrix, check_with_injected_bug, conf_cases, gen_draw, gen_program,
-    run_draw_case, shrink_draw_candidates,
+    check_case, check_case_matrix, check_with_injected_bug, conf_cases, gap_oracle, gen_draw,
+    gen_program, run_draw_case, run_draw_case_timed, shrink_draw_candidates, shrink_gap_candidates,
+    skip_dispatch_points, GapScenario,
 };
 
 /// Shrink-step budget. Generated programs have < 40 instructions, so this
@@ -105,6 +106,84 @@ fn draw_metamorphic_invariance() {
                 case.describe()
             );
         }
+    });
+}
+
+/// The event-skip axis for draws: at every dispatch point (threads 1/2/4
+/// × pool forced/never), a random draw renders pixel-identically to the
+/// reference with skipping off and on, and the two modes agree on the
+/// simulated frame cycle count bit for bit.
+#[test]
+fn draw_skip_axis_is_cycle_identical() {
+    let cases = (conf_cases() / 8).max(4);
+    check_n("draw_skip_axis", cases, |rng| {
+        let case = gen_draw(rng);
+        for (dlabel, threads, thr) in skip_dispatch_points() {
+            let mut off = isadiff::base_config();
+            off.threads = threads;
+            off.parallel_threshold = thr;
+            off.event_skip = false;
+            let mut on = off.clone();
+            on.event_skip = true;
+            let (diff_off, cycles_off) = run_draw_case_timed(&case, &off);
+            let (diff_on, cycles_on) = run_draw_case_timed(&case, &on);
+            assert_eq!(
+                diff_off,
+                0,
+                "skip-off diverges by {diff_off} pixels at {dlabel} on: {}",
+                case.describe()
+            );
+            assert_eq!(
+                diff_on,
+                0,
+                "skip-on diverges by {diff_on} pixels at {dlabel} on: {}",
+                case.describe()
+            );
+            assert_eq!(
+                cycles_off,
+                cycles_on,
+                "frame cycles differ across the skip axis at {dlabel} on: {}",
+                case.describe()
+            );
+        }
+    });
+}
+
+/// The event-contract canary: a `next_event` that reports *later* than
+/// the truth (the unsafe direction of the skip contract) must be caught
+/// by the gap oracle as a completion inside an announced-dead stretch,
+/// replay from its seed, and shrink to a minimal still-failing scenario
+/// that keeps the injected lag alive.
+#[test]
+fn under_reported_next_event_is_caught_and_shrunk() {
+    // The honest implementation passes...
+    gap_oracle(&GapScenario {
+        reqs: 32,
+        stride: 4096,
+        lag: 0,
+    })
+    .expect("honest next_event reports conform");
+    // ...and seeded random lags are always caught, then minimized.
+    check_n("under_report_canary", 16, |rng| {
+        let sc = GapScenario {
+            reqs: rng.range(4, 64),
+            stride: 128 * rng.range(1, 64),
+            lag: rng.range(1, 32),
+        };
+        let v = gap_oracle(&sc).expect_err("lagged next_event must be caught");
+        assert!(v.acted < v.announced, "violation is inside the gap");
+        let (small, _steps) = minimize(
+            sc.clone(),
+            shrink_gap_candidates,
+            |c| gap_oracle(c).is_err(),
+            64,
+        );
+        assert!(small.lag >= 1, "shrinking never reaches the honest lag 0");
+        assert!(small.reqs <= sc.reqs && small.lag <= sc.lag);
+        gap_oracle(&small).expect_err(&format!(
+            "shrunk scenario still fails: {}",
+            small.describe()
+        ));
     });
 }
 

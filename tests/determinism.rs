@@ -13,12 +13,25 @@ fn render_with_dispatch(
     threads: usize,
     parallel_threshold: usize,
 ) -> (u64, Vec<u32>, u64, u64, String) {
+    render_full(threads, parallel_threshold, None)
+}
+
+/// Like [`render_with_dispatch`], but with the event-skip axis pinned
+/// explicitly (`None` inherits `EMERALD_SKIP` like every preset does).
+fn render_full(
+    threads: usize,
+    parallel_threshold: usize,
+    event_skip: Option<bool>,
+) -> (u64, Vec<u32>, u64, u64, String) {
     let mem = SharedMem::with_capacity(1 << 26);
     let rt = RenderTarget::alloc(&mem, 64, 48);
     rt.clear(&mem, [0.0; 4], 1.0);
     let mut cfg = GpuConfig::tiny();
     cfg.threads = threads;
     cfg.parallel_threshold = parallel_threshold;
+    if let Some(skip) = event_skip {
+        cfg.event_skip = skip;
+    }
     let mut r = GpuRenderer::new(cfg, GfxConfig::case_study_2(), mem.clone(), rt);
     let mut port = SimpleMemPort::new(MemorySystem::new(MemorySystemConfig::baseline(
         2,
@@ -141,6 +154,119 @@ fn render_is_identical_with_profiling_enabled() {
             "registry snapshot differs with profiling at t={threads} thr={thr}"
         );
     }
+}
+
+/// The event-skip tentpole property: jumping over provably dead cycles is
+/// invisible — at 1 and 4 host threads, skip-on matches skip-off on the
+/// cycle count, the framebuffer, every counter and the whole registry
+/// snapshot, bit for bit.
+#[test]
+fn render_is_identical_across_skip_axis() {
+    for threads in [1usize, 4] {
+        let off = render_full(
+            threads,
+            GpuConfig::parallel_threshold_from_env(),
+            Some(false),
+        );
+        let on = render_full(
+            threads,
+            GpuConfig::parallel_threshold_from_env(),
+            Some(true),
+        );
+        assert!(off.3 > 0, "reference run retired no warps");
+        assert_eq!(
+            off.0, on.0,
+            "cycle count differs across skip at t={threads}"
+        );
+        assert_eq!(
+            off.2, on.2,
+            "instruction count differs across skip at t={threads}"
+        );
+        assert_eq!(
+            off.3, on.3,
+            "retired warps differ across skip at t={threads}"
+        );
+        assert_eq!(
+            off.1, on.1,
+            "framebuffer differs across skip at t={threads}"
+        );
+        assert_eq!(off.4, on.4, "registry differs across skip at t={threads}");
+    }
+}
+
+/// The profiler's cycle accounting must agree with skipped time: with
+/// profiling on, `gpu_cycles` (ticked + skipped) equals the simulated
+/// frame length exactly, under both clocking modes — a skipped cycle is
+/// still a simulated cycle.
+#[test]
+fn profiler_accounts_every_simulated_cycle_across_skip() {
+    for skip in [false, true] {
+        emerald::obs::prof::set_enabled(true);
+        emerald::obs::prof::reset();
+        let (cycles, _, _, _, _) =
+            render_full(1, GpuConfig::parallel_threshold_from_env(), Some(skip));
+        let profile = emerald::obs::prof::take();
+        emerald::obs::prof::set_enabled(false);
+        assert_eq!(
+            profile.gpu_cycles, cycles,
+            "profiler gpu_cycles disagree with simulated time (skip={skip})"
+        );
+        assert!(
+            profile.ticks <= cycles,
+            "host loop iterations exceed simulated cycles (skip={skip})"
+        );
+    }
+}
+
+/// SoC companion to the profiler-agreement test: one frame on a small SoC
+/// with profiling on, under both clocking modes — `soc_cycles` equals the
+/// frame's simulated length, and the two modes' profiles agree on every
+/// simulated-cycle counter (wall-time attribution legitimately differs).
+#[test]
+fn soc_profiler_agrees_with_skipped_time() {
+    use emerald::soc::cpu::{CpuWorkload, Phase};
+    use emerald::soc::{MemCfgKind, Soc, SocConfig};
+
+    fn small_cfg(skip: bool) -> SocConfig {
+        let mut cfg = SocConfig::case_study_1(
+            MemCfgKind::Dcb.build(DramConfig::lpddr3_1333()),
+            48,
+            32,
+            200_000,
+        );
+        cfg.cpu_workloads = vec![CpuWorkload::driver(), CpuWorkload::compute()];
+        for w in &mut cfg.cpu_workloads {
+            for p in &mut w.phases {
+                if let Phase::Work { instrs, .. } = p {
+                    *instrs /= 8;
+                }
+            }
+        }
+        cfg.gpu.event_skip = skip;
+        cfg
+    }
+
+    let mut totals = Vec::new();
+    for skip in [false, true] {
+        let mut soc = Soc::new(small_cfg(skip));
+        let wl = emerald::scene::workloads::w_models().swap_remove(1);
+        let binding = SceneBinding::new(&soc.mem, &wl);
+        let draw = binding.draw_for_frame(0, 48.0 / 32.0, false);
+        emerald::obs::prof::set_enabled(true);
+        emerald::obs::prof::reset();
+        let rec = soc.run_frame(vec![draw], 60_000_000);
+        let profile = emerald::obs::prof::take();
+        emerald::obs::prof::set_enabled(false);
+        assert_eq!(
+            profile.soc_cycles, rec.total_cycles,
+            "profiler soc_cycles disagree with the frame length (skip={skip})"
+        );
+        totals.push((rec.total_cycles, profile.soc_cycles, profile.gpu_cycles));
+    }
+    assert_eq!(
+        totals[0], totals[1],
+        "profiles diverge across the skip axis"
+    );
 }
 
 #[test]
