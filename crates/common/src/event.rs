@@ -76,6 +76,19 @@ pub fn skip_from_env() -> bool {
     }
 }
 
+/// Reads the `EMERALD_CPU_BATCH` knob: batched CPU `Work`-phase execution
+/// (run-until-interaction) is on by default; `0`, `off` or `false`
+/// (case-insensitive) select the per-cycle reference CPU clocking.
+pub fn cpu_batch_from_env() -> bool {
+    match std::env::var("EMERALD_CPU_BATCH") {
+        Ok(v) => {
+            let v = v.trim();
+            !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false"))
+        }
+        Err(_) => true,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -83,6 +83,24 @@ impl Xorshift64 {
     pub fn chance(&mut self, p: f64) -> bool {
         self.next_f64() < p.clamp(0.0, 1.0)
     }
+
+    /// Advances the generator by `n` draws without using the outputs.
+    ///
+    /// `discard(n)` leaves the generator in exactly the state `n` calls to
+    /// [`Xorshift64::next_u64`] would — every derived draw (`below`,
+    /// `chance`, ...) consumes one raw output, so batch replay code can
+    /// skip a known number of draws and stay on the reference stream.
+    pub fn discard(&mut self, n: u64) {
+        // The xorshift step is the state transition; the multiply only
+        // shapes the output, so discarding needs just the shifts.
+        let mut x = self.state;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        self.state = x;
+    }
 }
 
 impl Default for Xorshift64 {
@@ -148,5 +166,45 @@ mod tests {
         let mut r = Xorshift64::new(9);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn discard_equals_n_draws() {
+        for seed in [1u64, 7, 0xDEAD_BEEF, u64::MAX] {
+            for n in [0u64, 1, 2, 13, 100, 1000] {
+                let mut drawn = Xorshift64::new(seed);
+                for _ in 0..n {
+                    drawn.next_u64();
+                }
+                let mut skipped = Xorshift64::new(seed);
+                skipped.discard(n);
+                assert_eq!(
+                    drawn, skipped,
+                    "discard({n}) state mismatch for seed {seed:#x}"
+                );
+                assert_eq!(drawn.next_u64(), skipped.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn discard_locked_vectors() {
+        // Locked outputs: the draw immediately after discard(n) from fixed
+        // seeds. Any change to the state-transition function breaks these.
+        let cases: [(u64, u64, u64); 4] = [
+            (42, 1, 0x95BC_77BF_EE2D_32A3),
+            (42, 10, 0x9610_69F7_1A48_3203),
+            (0xC0DE, 100, 0xD91D_A0CB_8E2E_FD52),
+            (1, 1000, 0xBE83_F3FE_620A_4D49),
+        ];
+        for (seed, n, expect) in cases {
+            let mut r = Xorshift64::new(seed);
+            r.discard(n);
+            assert_eq!(
+                r.next_u64(),
+                expect,
+                "locked vector for seed {seed}, discard({n})"
+            );
+        }
     }
 }

@@ -17,6 +17,9 @@
 //!   hardware frames pixel-exact against `emerald_core::reference`.
 //! - [`eventconf`] checks the `NextEvent` event-skip contract with a gap
 //!   oracle and an injected under-reporting canary.
+//! - [`batchconf`] checks the batched CPU execution contract
+//!   (`run_batch`) with a twin-core oracle and an injected
+//!   window-overrun canary.
 //!
 //! Failures replay from a single case seed (see
 //! `emerald_common::check`) and are shrunk with
@@ -24,12 +27,14 @@
 
 #![warn(missing_docs)]
 
+pub mod batchconf;
 pub mod drawgen;
 pub mod eventconf;
 pub mod isadiff;
 pub mod proggen;
 pub mod refmodel;
 
+pub use batchconf::{batch_oracle, shrink_batch_candidates, BatchScenario, BatchViolation};
 pub use drawgen::{gen_draw, run_draw_case, run_draw_case_timed, shrink_draw_candidates, DrawCase};
 pub use eventconf::{gap_oracle, shrink_gap_candidates, GapScenario, GapViolation};
 pub use isadiff::{

@@ -199,6 +199,8 @@ struct Accum {
     gpu_skippable: u64,
     soc_cycles: u64,
     soc_skippable: u64,
+    cpu_batches: u64,
+    cpu_batch_cycles: u64,
     active_hist: [u64; ACTIVE_BUCKETS],
 }
 
@@ -215,6 +217,8 @@ impl Accum {
             gpu_skippable: 0,
             soc_cycles: 0,
             soc_skippable: 0,
+            cpu_batches: 0,
+            cpu_batch_cycles: 0,
             active_hist: [0; ACTIVE_BUCKETS],
         }
     }
@@ -401,6 +405,23 @@ pub fn record_soc_skip(n: u64) {
     });
 }
 
+/// Records one `CpuCoreModel::run_batch` call that advanced a core by
+/// `cycles` simulated cycles. Batched CPU cycles are *simulated* inside
+/// a single host call instead of one SoC loop iteration each; this
+/// counter sizes that win (`cpu_batch_cycles / cpu_batches` = average
+/// batch length). Checks [`enabled`] internally.
+#[inline]
+pub fn record_cpu_batch(cycles: u64) {
+    if !enabled() {
+        return;
+    }
+    ACC.with(|a| {
+        let a = &mut *a.borrow_mut();
+        a.cpu_batches += 1;
+        a.cpu_batch_cycles += cycles;
+    });
+}
+
 /// Adds busy nanoseconds for a pool shard (worker threads call this; the
 /// counters are global atomics, not thread-locals).
 #[inline]
@@ -487,6 +508,10 @@ pub struct HostProfile {
     /// SoC cycles with no GPU work, display DMA, or queued memory
     /// request — only known-time events remain (see [`record_soc_cycle`]).
     pub soc_skippable: u64,
+    /// `CpuCoreModel::run_batch` calls observed.
+    pub cpu_batches: u64,
+    /// Simulated CPU-core cycles advanced inside those batch calls.
+    pub cpu_batch_cycles: u64,
     /// Active-set occupancy histogram (see [`active_bucket`]).
     pub active_hist: [u64; ACTIVE_BUCKETS],
     /// Widest pool observed (0 when the pool never engaged).
@@ -597,6 +622,8 @@ pub fn take() -> HostProfile {
         gpu_skippable: acc.gpu_skippable,
         soc_cycles: acc.soc_cycles,
         soc_skippable: acc.soc_skippable,
+        cpu_batches: acc.cpu_batches,
+        cpu_batch_cycles: acc.cpu_batch_cycles,
         active_hist: acc.active_hist,
         pool_threads,
         pool_runs,
@@ -771,6 +798,20 @@ mod tests {
         assert_eq!(ticked.active_hist, skipped.active_hist);
         assert_eq!(ticked.soc_cycles, skipped.soc_cycles);
         assert_eq!(ticked.soc_skippable, skipped.soc_skippable);
+    }
+
+    #[test]
+    fn cpu_batch_counters_accumulate_and_reset() {
+        let _g = locked();
+        set_enabled(true);
+        reset();
+        record_cpu_batch(100);
+        record_cpu_batch(28);
+        let p = take();
+        set_enabled(false);
+        assert_eq!(p.cpu_batches, 2);
+        assert_eq!(p.cpu_batch_cycles, 128);
+        assert_eq!(take().cpu_batches, 0, "take() must reset");
     }
 
     #[test]

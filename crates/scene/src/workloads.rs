@@ -154,9 +154,32 @@ pub fn m_models() -> Vec<WorkloadDef> {
     ]
 }
 
+/// A deliberately light scene for the idle-rich SoC benchmarks
+/// (`soc_vsync`, `soc_fencewait`): the GPU finishes far ahead of the
+/// pacing deadline, leaving long quiet stretches between frames for the
+/// event skipper and the CPU batch scheduler to cash in.
+pub fn idle_model() -> WorkloadDef {
+    WorkloadDef {
+        id: "I1",
+        name: "Cube (idle-rich pacing)",
+        mesh: mesh::unit_cube(),
+        texture: TextureKind::None,
+        translucent: false,
+        camera: OrbitCamera::new(2.2),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn idle_model_is_minimal() {
+        let m = idle_model();
+        assert!(!m.textured(), "idle pacing scene must stay light");
+        assert!(!m.translucent);
+        assert!(m.mesh.tri_count() <= 16, "idle pacing scene must stay tiny");
+    }
 
     #[test]
     fn table8_has_six_rows() {

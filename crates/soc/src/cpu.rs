@@ -379,6 +379,175 @@ impl CpuCoreModel {
         }
     }
 
+    /// True while requests wait in the output buffer (issued but not yet
+    /// accepted by the memory system). The SoC's batch scheduler must not
+    /// advance a core past a cycle with undelivered output.
+    pub fn has_pending_out(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    /// True when the core's current phase is `WaitGpu`. The SoC's batch
+    /// scheduler must not let an *unsatisfied* fence wait pre-burn poll
+    /// cycles past the point where the frame's draw submission (and the
+    /// GPU completion that follows) could flip `gpu_frame_done`: the
+    /// pre-executed polls would have read a stale fence.
+    pub fn in_wait_gpu(&self) -> bool {
+        !self.at_frame_end
+            && matches!(
+                self.workload.phases.get(self.phase_idx),
+                Some(Phase::WaitGpu)
+            )
+    }
+
+    /// True while this core could still submit the frame's draws: its
+    /// script has an `IssueDraw` at or after the current phase and it has
+    /// not fired this frame. The batch scheduler runs such cores first —
+    /// their progress is a safe lower bound on the submission cycle, and
+    /// therefore on how far a fence-waiting core may pre-burn polls.
+    pub fn may_issue_draw(&self) -> bool {
+        !self.at_frame_end
+            && !self.issued_draw_this_frame
+            && self
+                .workload
+                .phases
+                .get(self.phase_idx..)
+                .is_some_and(|rest| rest.iter().any(|p| matches!(p, Phase::IssueDraw)))
+    }
+
+    /// Advances the core by up to `budget` cycles in one call, executing
+    /// cycles `now + 1 ..= now + consumed` and returning
+    /// `(consumed, event)`.
+    ///
+    /// This is the batched twin of [`CpuCoreModel::tick`]: the per-core
+    /// state evolution (RNG draw sequence, cache state, statistics, script
+    /// position) is bit-for-bit the sequence `budget` individual ticks
+    /// would produce, but `Work` instructions retire in a tight inner loop
+    /// instead of one SoC loop iteration each. The batch stops early at
+    /// the first *observable interaction* — anything the SoC must act on
+    /// at its exact cycle:
+    ///
+    /// * a memory request entering the output buffer (delivery cycle
+    ///   matters to the memory system),
+    /// * reaching the outstanding-miss limit (the filling request is
+    ///   itself in the output buffer, so this folds into the case above),
+    /// * `IssueDraw` (the SoC starts the GPU at that cycle),
+    /// * a phase transition (the next phase may interact differently),
+    /// * the end-of-script tick that raises `at_frame_end` (the SoC's
+    ///   frame barrier reads the flag at that cycle).
+    ///
+    /// A core that is already stalled at entry burns the whole budget as
+    /// `stall_cycles` analytically — within a caller-chosen window no
+    /// response can arrive, so no tick in it could unstall the core. A
+    /// core waiting on an unsatisfied fence replays the sparse poll loop,
+    /// stopping only when a poll misses the private caches.
+    ///
+    /// Callers must drain requests before batching (the output buffer must
+    /// be empty at entry) and must hold `gpu_frame_done` constant across
+    /// the window, exactly as the [`CpuCoreModel::next_event`] contract
+    /// already requires for skipping.
+    pub fn run_batch(
+        &mut self,
+        now: Cycle,
+        budget: Cycle,
+        gpu_frame_done: bool,
+        ids: &mut ReqIdGen,
+    ) -> (Cycle, CpuEvent) {
+        debug_assert!(self.out.is_empty(), "batched a core with pending output");
+        if budget == 0 {
+            return (0, CpuEvent::None);
+        }
+        if self.at_frame_end {
+            // Fully passive: the reference ticks are no-ops.
+            return (budget, CpuEvent::None);
+        }
+        if self.outstanding >= self.max_outstanding {
+            // Stalled for the whole window: responses only arrive at the
+            // caller's wake cycles, never inside the batch.
+            self.stats.stall_cycles += budget;
+            return (budget, CpuEvent::None);
+        }
+        let Some(phase) = self.workload.phases.get(self.phase_idx).copied() else {
+            self.at_frame_end = true;
+            return (1, CpuEvent::None);
+        };
+        match phase {
+            Phase::Work {
+                instrs,
+                mem_ratio,
+                footprint,
+                sequential,
+            } => {
+                let mut consumed: Cycle = 0;
+                while consumed < budget {
+                    consumed += 1;
+                    self.stats.instrs += 1;
+                    self.instr_in_phase += 1;
+                    if self.rng.chance(mem_ratio) {
+                        let offset = if sequential {
+                            self.stream_pos = (self.stream_pos + 64) % footprint;
+                            self.stream_pos
+                        } else {
+                            self.rng.below(footprint.max(128))
+                        };
+                        let kind = if self.rng.chance(0.3) {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        };
+                        self.issue_access(self.arena + (offset & !127), kind, ids, now + consumed);
+                    }
+                    if self.instr_in_phase >= instrs {
+                        // Phase transition; a request issued this same
+                        // cycle stays in `out` — the caller checks
+                        // `has_pending_out` regardless of the stop reason.
+                        self.phase_idx += 1;
+                        self.instr_in_phase = 0;
+                        return (consumed, CpuEvent::None);
+                    }
+                    if !self.out.is_empty() || self.outstanding >= self.max_outstanding {
+                        return (consumed, CpuEvent::None);
+                    }
+                }
+                (budget, CpuEvent::None)
+            }
+            Phase::IssueDraw => {
+                self.phase_idx += 1;
+                if self.issued_draw_this_frame {
+                    (1, CpuEvent::None)
+                } else {
+                    self.issued_draw_this_frame = true;
+                    (1, CpuEvent::IssueDraw)
+                }
+            }
+            Phase::WaitGpu => {
+                if gpu_frame_done {
+                    self.phase_idx += 1;
+                    return (1, CpuEvent::None);
+                }
+                let mut consumed: Cycle = 0;
+                loop {
+                    let to_poll = (POLL_INTERVAL - self.poll_counter) as Cycle;
+                    let left = budget - consumed;
+                    if to_poll > left {
+                        // The next poll lies beyond the window: bump the
+                        // counter analytically, as `fast_forward` does.
+                        self.poll_counter += left as u32;
+                        return (budget, CpuEvent::None);
+                    }
+                    consumed += to_poll;
+                    self.poll_counter = 0;
+                    self.issue_access(self.arena, AccessKind::Read, ids, now + consumed);
+                    if !self.out.is_empty() || self.outstanding >= self.max_outstanding {
+                        return (consumed, CpuEvent::None);
+                    }
+                    if consumed == budget {
+                        return (budget, CpuEvent::None);
+                    }
+                }
+            }
+        }
+    }
+
     /// Earliest cycle `> now` at which ticking this core is *not* a state
     /// no-op, given the current `gpu_frame_done` level (the SoC re-queries
     /// whenever that input changes, so it is part of the component's
@@ -594,5 +763,118 @@ mod tests {
         }
         assert!(cpu.stats().stall_cycles > 5_000);
         assert!(cpu.stats().instrs < 5_000);
+    }
+
+    /// Drives `cpu` with per-cycle ticks and `twin` with `run_batch` under
+    /// identical response schedules, asserting bit-identical state
+    /// evolution. Responses arrive every `resp_every` requests' worth of
+    /// cycles, crude but deterministic.
+    fn batch_equals_ticks(workload: CpuWorkload, seed: u64, budget: Cycle, horizon: Cycle) {
+        // Separate images so both twins get the same arena address.
+        let (ma, mb) = (mem(), mem());
+        let mut ids_a = ReqIdGen::new();
+        let mut ids_b = ReqIdGen::new();
+        let mut tickd = CpuCoreModel::new(0, workload.clone(), &ma, seed);
+        let mut batch = CpuCoreModel::new(0, workload, &mb, seed);
+        let mut now: Cycle = 0;
+        while now < horizon && !tickd.at_frame_end() {
+            // Reference side: per-cycle ticks through the window.
+            let mut ref_reqs = Vec::new();
+            let mut ref_draws = 0;
+            let window_end = now + budget;
+            let mut t = now;
+            while t < window_end {
+                t += 1;
+                if tickd.tick(t, false, &mut ids_a) == CpuEvent::IssueDraw {
+                    ref_draws += 1;
+                }
+                let r = tickd.drain_requests();
+                if !r.is_empty() {
+                    ref_reqs.extend(r.iter().map(|q| (q.addr, q.kind, q.issued)));
+                    break; // the batch twin stops here; realign
+                }
+            }
+            // Batch side: one run_batch call bounded by the same window.
+            let mut got_reqs = Vec::new();
+            let mut got_draws = 0;
+            let mut b = now;
+            while b < t {
+                let (used, ev) = batch.run_batch(b, t - b, false, &mut ids_b);
+                assert!(used >= 1, "no progress at {b}");
+                b += used;
+                if ev == CpuEvent::IssueDraw {
+                    got_draws += 1;
+                }
+                got_reqs.extend(
+                    batch
+                        .drain_requests()
+                        .iter()
+                        .map(|q| (q.addr, q.kind, q.issued)),
+                );
+            }
+            assert_eq!(ref_reqs, got_reqs, "requests diverged in window at {now}");
+            assert_eq!(ref_draws, got_draws, "draw events diverged at {now}");
+            // Unstall both sides identically at the window boundary.
+            for _ in 0..ref_reqs
+                .iter()
+                .filter(|(_, k, _)| *k == AccessKind::Read)
+                .count()
+            {
+                tickd.on_response();
+                batch.on_response();
+            }
+            now = t;
+        }
+        let (a, b) = (tickd.stats(), batch.stats());
+        assert_eq!(a.instrs, b.instrs);
+        assert_eq!(a.mem_requests, b.mem_requests);
+        assert_eq!(a.stall_cycles, b.stall_cycles);
+        assert_eq!(tickd.at_frame_end(), batch.at_frame_end());
+        assert_eq!(tickd.rng, batch.rng, "RNG streams diverged");
+    }
+
+    #[test]
+    fn run_batch_matches_per_cycle_ticks() {
+        for (seed, budget) in [(11u64, 1u64), (12, 7), (13, 64), (14, 1000)] {
+            batch_equals_ticks(CpuWorkload::driver(), seed, budget, 200_000);
+            batch_equals_ticks(CpuWorkload::streamer(), seed, budget, 120_000);
+            batch_equals_ticks(CpuWorkload::compute(), seed, budget, 120_000);
+            batch_equals_ticks(CpuWorkload::mixed(), seed, budget, 120_000);
+        }
+    }
+
+    #[test]
+    fn run_batch_burns_stall_cycles_identically() {
+        let wl = CpuWorkload {
+            phases: vec![Phase::Work {
+                instrs: 100_000,
+                mem_ratio: 1.0,
+                footprint: 8 << 20,
+                sequential: false,
+            }],
+        };
+        let (ma, mb) = (mem(), mem());
+        let mut ids_a = ReqIdGen::new();
+        let mut ids_b = ReqIdGen::new();
+        let mut tickd = CpuCoreModel::new(0, wl.clone(), &ma, 5);
+        let mut batch = CpuCoreModel::new(0, wl, &mb, 5);
+        // Never respond: both twins hit the outstanding limit and must burn
+        // the same stall_cycles whether ticked singly or in bulk windows.
+        let mut now: Cycle = 0;
+        while now < 10_000 {
+            tickd.tick(now + 1, false, &mut ids_a);
+            tickd.drain_requests();
+            now += 1;
+        }
+        let mut b: Cycle = 0;
+        while b < 10_000 {
+            let (used, _) = batch.run_batch(b, (10_000 - b).min(333), false, &mut ids_b);
+            batch.drain_requests();
+            b += used;
+        }
+        assert!(tickd.stats().stall_cycles > 5_000);
+        assert_eq!(tickd.stats().stall_cycles, batch.stats().stall_cycles);
+        assert_eq!(tickd.stats().instrs, batch.stats().instrs);
+        assert_eq!(tickd.stats().mem_requests, batch.stats().mem_requests);
     }
 }

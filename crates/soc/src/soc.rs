@@ -36,6 +36,12 @@ pub struct SocConfig {
     pub cpu_workloads: Vec<CpuWorkload>,
     /// Cycles between DASH deadline-feedback updates.
     pub feedback_interval: Cycle,
+    /// Batched CPU `Work`-phase execution (run-until-interaction). The
+    /// per-cycle CPU clocking is kept forever as the reference semantics;
+    /// this flag (default from `EMERALD_CPU_BATCH`, on) selects the
+    /// batched twin, which is bit-identical by contract and gated by the
+    /// lockstep suites in `tests/` and the conformance canary.
+    pub cpu_batch: bool,
 }
 
 impl SocConfig {
@@ -62,6 +68,7 @@ impl SocConfig {
                 CpuWorkload::mixed(),
             ],
             feedback_interval: 1_000,
+            cpu_batch: emerald_common::event::cpu_batch_from_env(),
         }
     }
 }
@@ -257,6 +264,18 @@ impl Soc {
         let mut gpu_active = false;
         let mut gpu_done = false;
         let skip = self.cfg.gpu.event_skip;
+        let cpu_batch = self.cfg.cpu_batch;
+        // Batch-mode bookkeeping. Cores may run *ahead* of the SoC clock
+        // inside windows where no non-CPU component can act: `ran_until`
+        // is the last cycle core `i` has executed, `pending` holds an
+        // undelivered interaction (its exact cycle plus the event; any
+        // issued requests wait in the core's output buffer until the
+        // clock arrives), and `end_at` is the cycle the core raised its
+        // frame-end flag — the frame barrier must observe the flip at
+        // that cycle, not when the flag was pre-applied by a batch.
+        let mut ran_until: Vec<Cycle> = vec![self.now; self.cpus.len()];
+        let mut pending: Vec<Option<(Cycle, CpuEvent)>> = vec![None; self.cpus.len()];
+        let mut end_at: Vec<Cycle> = vec![Cycle::MAX; self.cpus.len()];
 
         let prof_loop = emerald_obs::prof::loop_enter();
         loop {
@@ -284,9 +303,28 @@ impl Soc {
             }
             clk.lap(emerald_obs::prof::HostPhase::SocDisplay);
 
-            // CPU cores.
+            // CPU cores. In batch mode a core is either *ahead* (it
+            // already executed this cycle inside a batch window; any
+            // interaction it produced is delivered exactly when the clock
+            // reaches its recorded cycle) or it is ticked per-cycle as in
+            // the reference clocking.
             for i in 0..self.cpus.len() {
-                let ev = self.cpus[i].tick(now, gpu_done, &mut self.ids);
+                let ev = match pending[i] {
+                    Some((s, ev)) if s == now => {
+                        pending[i] = None;
+                        ev
+                    }
+                    _ if cpu_batch && ran_until[i] >= now => CpuEvent::None,
+                    _ => {
+                        let was_end = self.cpus[i].at_frame_end();
+                        let ev = self.cpus[i].tick(now, gpu_done, &mut self.ids);
+                        ran_until[i] = now;
+                        if !was_end && self.cpus[i].at_frame_end() {
+                            end_at[i] = now;
+                        }
+                        ev
+                    }
+                };
                 if ev == CpuEvent::IssueDraw {
                     if let Some(ds) = draws.take() {
                         for d in ds {
@@ -295,6 +333,12 @@ impl Soc {
                         gpu_start = now;
                         gpu_active = true;
                     }
+                }
+                // A core parked at a future cycle holds requests it issued
+                // *at that cycle*; draining them before the clock arrives
+                // would leak them into the memory system early.
+                if matches!(pending[i], Some((s, _)) if s > now) {
+                    continue;
                 }
                 let mut blocked = false;
                 for req in self.cpus[i].drain_requests() {
@@ -342,7 +386,15 @@ impl Soc {
             }
             clk.lap(emerald_obs::prof::HostPhase::SocOther);
 
-            if gpu_done && self.cpus.iter().all(|c| c.at_frame_end()) {
+            // Frame barrier. In batch mode a core's flag may have been
+            // pre-applied by a batch that ran ahead of the clock, so the
+            // barrier compares against the recorded flip cycles instead.
+            let cpus_done = if cpu_batch {
+                end_at.iter().all(|&t| t <= now)
+            } else {
+                self.cpus.iter().all(|c| c.at_frame_end())
+            };
+            if gpu_done && cpus_done {
                 break;
             }
             if std::env::var_os("EMERALD_SOC_DEBUG").is_some()
@@ -364,6 +416,171 @@ impl Soc {
                 now - frame_start < max_cycles,
                 "SoC frame exceeded {max_cycles} cycles"
             );
+
+            if cpu_batch {
+                // Batched CPU advance: find the window `(now, w)` inside
+                // which no non-CPU component can act (their `next_event`
+                // contracts guarantee bit-for-bit no-op ticks), run every
+                // quiet core's script through it in bulk, then — skip mode
+                // only — jump the clock to the earliest cycle anything
+                // needs service. The window also freezes `gpu_done`: the
+                // renderer cannot finish inside a stretch where it cannot
+                // act, so batching with the current level is exact.
+                let horizon = frame_start + max_cycles;
+                let need_runway = skip
+                    || self.cpus.iter().enumerate().any(|(i, c)| {
+                        pending[i].is_none()
+                            && !c.has_pending_out()
+                            && !c.at_frame_end()
+                            && ran_until[i] <= now
+                    });
+                let w = if need_runway {
+                    'window: {
+                        let pin = now + 1;
+                        if !self.gpu_resp.is_empty() {
+                            break 'window pin;
+                        }
+                        let mut w =
+                            emerald_common::event::NextEvent::next_event(&self.renderer, now);
+                        if w == Some(pin) {
+                            break 'window pin;
+                        }
+                        w = emerald_common::event::earliest(
+                            w,
+                            emerald_common::event::NextEvent::next_event(&self.display, now),
+                        );
+                        if w == Some(pin) {
+                            break 'window pin;
+                        }
+                        w = emerald_common::event::earliest(
+                            w,
+                            emerald_common::event::NextEvent::next_event(&self.memsys, now),
+                        );
+                        if self.memsys.dash().is_some() {
+                            // DASH deadline feedback fires at interval
+                            // multiples and mutates scheduler state, so
+                            // boundaries are mandatory events.
+                            let fi = self.cfg.feedback_interval;
+                            w = emerald_common::event::earliest(w, Some((now / fi + 1) * fi));
+                        }
+                        w.unwrap_or(horizon).min(horizon).max(pin)
+                    }
+                } else {
+                    now + 1
+                };
+                let draws_pending = draws.is_some();
+                if w > now + 1 {
+                    // While the frame's draws are undelivered, `gpu_done`
+                    // can flip inside the window (draw submission at a
+                    // parked IssueDraw, GPU completion after it), so an
+                    // *unsatisfied* fence wait must not pre-burn polls
+                    // past the earliest possible submission cycle. Cores
+                    // that may still submit batch first (pass 0); their
+                    // progress then bounds the fence-waiting cores in
+                    // pass 1: a submitter parked on IssueDraw at `s`
+                    // submits at `s` (polls safe through `s - 1`), one
+                    // parked on anything else at `p` cannot submit before
+                    // `p + 1`, and one that batched to `r` without
+                    // reaching IssueDraw cannot submit before `r + 1`.
+                    let capable: Vec<bool> = self.cpus.iter().map(|c| c.may_issue_draw()).collect();
+                    let mut fence_bound = w - 1;
+                    for pass in 0..2usize {
+                        if pass == 1 && draws_pending && !gpu_done {
+                            for i in 0..self.cpus.len() {
+                                if !capable[i] || self.cpus[i].at_frame_end() {
+                                    continue;
+                                }
+                                fence_bound = fence_bound.min(match pending[i] {
+                                    Some((s, CpuEvent::IssueDraw)) => s.saturating_sub(1),
+                                    Some((p, _)) => p,
+                                    None => ran_until[i],
+                                });
+                            }
+                        }
+                        for i in 0..self.cpus.len() {
+                            if capable[i] != (pass == 0) {
+                                continue;
+                            }
+                            if pending[i].is_some() || self.cpus[i].has_pending_out() {
+                                continue;
+                            }
+                            let mut base = ran_until[i].max(now);
+                            loop {
+                                let stop =
+                                    if draws_pending && !gpu_done && self.cpus[i].in_wait_gpu() {
+                                        // A submitter stuck in its own
+                                        // fence wait (script quirk) gets
+                                        // no pre-burn at all.
+                                        if pass == 0 {
+                                            base
+                                        } else {
+                                            fence_bound
+                                        }
+                                    } else {
+                                        w - 1
+                                    };
+                                if base >= stop {
+                                    break;
+                                }
+                                let was_end = self.cpus[i].at_frame_end();
+                                let (used, ev) = self.cpus[i].run_batch(
+                                    base,
+                                    stop - base,
+                                    gpu_done,
+                                    &mut self.ids,
+                                );
+                                base += used;
+                                emerald_obs::prof::record_cpu_batch(used);
+                                if ev != CpuEvent::None || self.cpus[i].has_pending_out() {
+                                    // Observable interaction at `base`:
+                                    // park it until the clock arrives
+                                    // there.
+                                    pending[i] = Some((base, ev));
+                                    break;
+                                }
+                                if !was_end && self.cpus[i].at_frame_end() {
+                                    end_at[i] = base;
+                                    break;
+                                }
+                            }
+                            ran_until[i] = base;
+                        }
+                    }
+                }
+                if skip {
+                    // The clock must visit `w`, every parked interaction
+                    // and every pre-applied frame-end flip at its exact
+                    // cycle; everything before the minimum is dead time.
+                    // A core that did not run ahead (blocked from batching
+                    // above, or re-queued output) still needs its per-cycle
+                    // ticks, so it pins the wake to the cycle after its
+                    // last executed one.
+                    let mut wake = w;
+                    for p in pending.iter().flatten() {
+                        wake = wake.min(p.0);
+                    }
+                    for &t in &end_at {
+                        if t > now {
+                            wake = wake.min(t);
+                        }
+                    }
+                    for i in 0..self.cpus.len() {
+                        if pending[i].is_none() && !self.cpus[i].at_frame_end() {
+                            wake = wake.min(ran_until[i] + 1);
+                        }
+                    }
+                    if wake > now + 1 {
+                        let delta = wake - 1 - now;
+                        self.now += delta;
+                        emerald_obs::prof::record_soc_skip(delta);
+                        // The renderer is quiescent across the window, so
+                        // the reference would book these as idle GPU
+                        // cycles too.
+                        emerald_obs::prof::record_gpu_skip(delta);
+                    }
+                }
+                continue;
+            }
 
             // Event-driven skip: jump the clock to the earliest cycle at
             // which *any* component can act without new input. Every
@@ -423,6 +640,7 @@ impl Soc {
                     }
                     self.now += delta;
                     emerald_obs::prof::record_soc_skip(delta);
+                    emerald_obs::prof::record_gpu_skip(delta);
                 }
             }
         }
@@ -444,6 +662,95 @@ impl Soc {
             total_cycles: self.now - frame_start,
             gfx,
         }
+    }
+
+    /// Advances the SoC clock to `target` with the CPU cluster parked at
+    /// the frame barrier: the display keeps scanning out, the memory
+    /// system keeps draining in-flight traffic and DASH feedback stays on
+    /// its boundary grid. This models the vsync gap of a paced app (30 FPS
+    /// submission against a faster render) between [`Soc::run_frame`]
+    /// calls; with `EMERALD_SKIP` on the gap collapses to its handful of
+    /// display-DMA and period-boundary events. No-op if `target <= now`.
+    pub fn idle_until(&mut self, target: Cycle) {
+        let skip = self.cfg.gpu.event_skip;
+        let prof_loop = emerald_obs::prof::loop_enter();
+        while self.now < target {
+            emerald_obs::prof::tick();
+            let mut clk = emerald_obs::prof::PhaseClock::start();
+            self.now += 1;
+            let now = self.now;
+
+            self.memsys.tick(now);
+            self.route_responses();
+            clk.lap(emerald_obs::prof::HostPhase::SocMem);
+
+            self.display.tick(now, &mut self.ids);
+            let mut blocked = false;
+            for req in self.display.drain_requests() {
+                if blocked {
+                    self.display.requeue(req);
+                } else if let Err(back) = self.memsys.enqueue(req, now) {
+                    self.display.requeue(back);
+                    blocked = true;
+                }
+            }
+            clk.lap(emerald_obs::prof::HostPhase::SocDisplay);
+
+            // The renderer is idle between frames but must still consume
+            // straggler responses from its last frame's writes.
+            {
+                let mut port = SocPort {
+                    memsys: &mut self.memsys,
+                    resp: &mut self.gpu_resp,
+                };
+                self.renderer.cycle(now, &mut port);
+            }
+            clk.skip();
+            self.dash_feedback(false, now);
+
+            if emerald_obs::prof::enabled() {
+                let skippable = self.renderer.gpu.is_quiescent()
+                    && !self.display.has_pending()
+                    && self.memsys.queued() == 0;
+                emerald_obs::prof::record_soc_cycle(skippable);
+            }
+            clk.lap(emerald_obs::prof::HostPhase::SocOther);
+
+            'skip: {
+                if !skip {
+                    break 'skip;
+                }
+                let pin = Some(now + 1);
+                let mut wake = emerald_common::event::NextEvent::next_event(&self.renderer, now);
+                if wake == pin || !self.gpu_resp.is_empty() {
+                    break 'skip;
+                }
+                wake = emerald_common::event::earliest(
+                    wake,
+                    emerald_common::event::NextEvent::next_event(&self.display, now),
+                );
+                if wake == pin {
+                    break 'skip;
+                }
+                wake = emerald_common::event::earliest(
+                    wake,
+                    emerald_common::event::NextEvent::next_event(&self.memsys, now),
+                );
+                if self.memsys.dash().is_some() {
+                    let fi = self.cfg.feedback_interval;
+                    wake = emerald_common::event::earliest(wake, Some((now / fi + 1) * fi));
+                }
+                // The idle stretch ends at `target` regardless of events.
+                let wake = wake.unwrap_or(target).min(target);
+                if wake > now + 1 {
+                    let delta = wake - 1 - now;
+                    self.now += delta;
+                    emerald_obs::prof::record_soc_skip(delta);
+                    emerald_obs::prof::record_gpu_skip(delta);
+                }
+            }
+        }
+        emerald_obs::prof::loop_exit(prof_loop);
     }
 }
 

@@ -22,6 +22,9 @@ EMERALD_SKIP=1 cargo test --workspace -q
 echo "==> cargo test (EMERALD_SKIP=0, per-cycle reference clocking)"
 EMERALD_SKIP=0 cargo test --workspace -q
 
+echo "==> cargo test (EMERALD_CPU_BATCH=0, per-cycle CPU reference)"
+EMERALD_CPU_BATCH=0 cargo test --workspace -q
+
 echo "==> determinism suite at EMERALD_THREADS=4"
 EMERALD_THREADS=4 cargo test --release --test determinism -q
 
@@ -36,6 +39,12 @@ EMERALD_CONF_CASES=32 cargo test --release --test conformance -q
 
 echo "==> event-skip oracle suite (skip-on vs skip-off lockstep + gap oracles)"
 cargo test --release --test event_skip -q
+
+echo "==> event-skip oracle suite under per-cycle CPU reference (EMERALD_CPU_BATCH=0)"
+EMERALD_CPU_BATCH=0 cargo test --release --test event_skip -q
+
+echo "==> cpu-batch oracle suite (batch-axis lockstep + matrix + stall path)"
+cargo test --release --test cpu_batch -q
 
 echo "==> examples smoke test"
 cargo run --release --example trace_export >/dev/null
@@ -69,5 +78,13 @@ cargo run --release --quiet --bin bench_diff -- BENCH_frame.json BENCH_profile.j
 echo "==> bench_diff: skip-off vs skip-on smoke (simulated cycles must be identical)"
 EMERALD_SKIP=0 ./scripts/bench.sh --smoke --out BENCH_skipoff.json >/dev/null 2>&1
 cargo run --release --quiet --bin bench_diff -- BENCH_frame.json BENCH_skipoff.json --no-wall
+
+echo "==> bench_diff: batch-off vs batch-on smoke (simulated cycles must be identical)"
+EMERALD_CPU_BATCH=0 ./scripts/bench.sh --smoke --out BENCH_batchoff.json >/dev/null 2>&1
+cargo run --release --quiet --bin bench_diff -- BENCH_frame.json BENCH_batchoff.json --no-wall
+
+echo "==> bench_diff: per-cycle reference (skip+batch off) vs default (cycles identical)"
+EMERALD_SKIP=0 EMERALD_CPU_BATCH=0 ./scripts/bench.sh --smoke --out BENCH_percycle.json >/dev/null 2>&1
+cargo run --release --quiet --bin bench_diff -- BENCH_frame.json BENCH_percycle.json --no-wall
 
 echo "CI gate passed."

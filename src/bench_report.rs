@@ -107,6 +107,10 @@ fn profile_json(p: &emerald_obs::HostProfile, sim_ms: f64) -> String {
         p.soc_skippable,
         p.soc_skippable_frac()
     ));
+    s.push_str(&format!(
+        "\"cpu_batches\": {}, \"cpu_batch_cycles\": {}, ",
+        p.cpu_batches, p.cpu_batch_cycles
+    ));
     s.push_str("\"active_hist\": { ");
     for b in 0..ACTIVE_BUCKETS {
         if b > 0 {

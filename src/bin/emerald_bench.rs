@@ -102,8 +102,21 @@ fn main() {
         runs,
     });
 
-    // 2. GPGPU saxpy.
+    // 2. GPGPU saxpy. One discarded warmup run first: repeated 16 MiB
+    // image alloc/free cycles adapt glibc's dynamic mmap threshold, after
+    // which the allocation is served from the heap arena as a dirty block
+    // that must be zeroed and re-faulted (~10-15 ms) — a cost that used to
+    // land in whichever run happened to allocate third (the 4-thread
+    // row's setup_ms, historically) rather than anything thread-related.
+    // Warming until the threshold has adapted keeps every measured row on
+    // the same allocator path.
     let n = if smoke { 1 << 12 } else { 1 << 16 };
+    let (saxpy_warmup_ms, _) = timed(|| {
+        for _ in 0..3 {
+            let _ = bench_saxpy(1, 64);
+        }
+    });
+    eprintln!("gpgpu_saxpy warmup: {saxpy_warmup_ms:.1} ms (allocator settling, untimed rows)");
     let mut runs = Vec::new();
     for &t in thread_counts {
         let run = bench_saxpy(t, n);
@@ -135,7 +148,35 @@ fn main() {
         runs,
     });
 
-    // 4. Pool dispatch-latency microbenchmark: the fixed cost of one
+    // 4. Idle-rich SoC workloads: vsync-paced multi-frame rendering and
+    // fence-parked cores. Most of their simulated time is quiet — these
+    // are the workloads where the event skipper and the batched CPU
+    // scheduler pay off, so their wall-clock (and bit-identical cycles)
+    // are tracked across the EMERALD_SKIP / EMERALD_CPU_BATCH axes.
+    type SocBench = fn(usize, bool) -> Run;
+    let idle_benches: [(&'static str, SocBench); 2] = [
+        ("soc_vsync", bench_soc_vsync),
+        ("soc_fencewait", bench_soc_fencewait),
+    ];
+    for (name, bench) in idle_benches {
+        let mut runs = Vec::new();
+        for &t in thread_counts {
+            let run = bench(t, smoke);
+            eprintln!(
+                "{name} t={t}: {:.1} ms ({:.1} setup / {:.1} sim / {:.1} readback), {} cycles",
+                run.wall_ms,
+                run.phases.setup_ms,
+                run.phases.sim_ms,
+                run.phases.readback_ms,
+                run.cycles
+            );
+            eprint_profile(name, t, &run);
+            runs.push(run);
+        }
+        workloads.push(Workload { name, runs });
+    }
+
+    // 5. Pool dispatch-latency microbenchmark: the fixed cost of one
     // empty `CorePool::run` (publish, wake, join) per pool width.
     let mut pool_dispatch = Vec::new();
     for width in [2usize, 4] {
@@ -147,7 +188,7 @@ fn main() {
         });
     }
 
-    // 5. Profiler overhead: the same saxpy sim with profiling forced off
+    // 6. Profiler overhead: the same saxpy sim with profiling forced off
     // vs. on. Cycles must be bit-identical (the profiler never touches
     // simulated state); wall-clock cost is recorded and, in smoke mode,
     // gated at 5 %.
@@ -180,7 +221,14 @@ fn main() {
         eprintln!("wrote {trace_path} ({} events)", events.len());
     }
 
-    if smoke && overhead_pct > 5.0 {
+    // The 5 % budget is a property of the profiler under the *default*
+    // clocking. Per-cycle reference modes (EMERALD_SKIP=0 /
+    // EMERALD_CPU_BATCH=0) tick many near-empty cycles where the fixed
+    // per-lap timestamp cost is legitimately a larger fraction of the
+    // work, so those runs record the overhead but don't hard-fail on it.
+    let default_clocking =
+        emerald::common::event::skip_from_env() && emerald::common::event::cpu_batch_from_env();
+    if smoke && default_clocking && overhead_pct > 5.0 {
         eprintln!("FAIL: profiler overhead {overhead_pct:.2} % exceeds the 5 % budget");
         std::process::exit(1);
     }
@@ -344,6 +392,108 @@ fn bench_saxpy(threads: usize, n: usize) -> Run {
         setup_ms,
         sim_ms,
         readback_ms,
+    };
+    Run {
+        threads,
+        wall_ms: phases.total_ms(),
+        cycles,
+        phases,
+        profile,
+    }
+}
+
+/// Builds the idle-rich SoC used by `soc_vsync` and `soc_fencewait`: the
+/// deliberately light pacing scene behind the case-study-1 platform.
+/// Returns the SoC plus the scene binding and aspect ratio.
+fn idle_soc(threads: usize, smoke: bool) -> (Soc, SceneBinding, f32) {
+    use emerald::soc::experiment::MemCfgKind;
+    std::env::set_var("EMERALD_THREADS", threads.to_string());
+    let (w, h) = if smoke { (48, 32) } else { (64, 48) };
+    let cfg = SocConfig::case_study_1(
+        MemCfgKind::Dcb.build(DramConfig::lpddr3_1333()),
+        w,
+        h,
+        200_000,
+    );
+    let soc = Soc::new(cfg);
+    let binding = SceneBinding::new(&soc.mem, &emerald::scene::workloads::idle_model());
+    std::env::remove_var("EMERALD_THREADS");
+    (soc, binding, w as f32 / h as f32)
+}
+
+/// Vsync-paced multi-frame run: each frame finishes far ahead of the next
+/// vsync boundary and the SoC idles until it (`Soc::idle_until`). With
+/// event skipping on, the idle gap collapses to a handful of host
+/// iterations; with batching on, the in-frame CPU scripts stop pinning
+/// the clock. Reported cycles are the final simulated time, which must be
+/// bit-identical across both axes.
+fn bench_soc_vsync(threads: usize, smoke: bool) -> Run {
+    let frames: u32 = if smoke { 3 } else { 6 };
+    const VSYNC: u64 = 1_000_000;
+    let (setup_ms, (mut soc, binding, aspect)) = timed(|| idle_soc(threads, smoke));
+    emerald::obs::prof::reset();
+    let (sim_ms, cycles) = timed(|| {
+        for f in 0..frames {
+            soc.run_frame(vec![binding.draw_for_frame(f, aspect, false)], 500_000_000);
+            let next = (soc.now() / VSYNC + 1) * VSYNC;
+            soc.idle_until(next);
+        }
+        soc.now()
+    });
+    let profile = take_profile();
+    let phases = PhaseTimes {
+        setup_ms,
+        sim_ms,
+        readback_ms: 0.0,
+    };
+    Run {
+        threads,
+        wall_ms: phases.total_ms(),
+        cycles,
+        phases,
+        profile,
+    }
+}
+
+/// Fence-blocked multi-frame run: one driver core plus three workers
+/// parked in `WaitGpu` for the whole frame, polling a fence line every
+/// few hundred cycles. Nearly all CPU-side simulated time is analytically
+/// skippable; the batched scheduler advances the parked cores without
+/// per-cycle host work even while the GPU renders.
+fn bench_soc_fencewait(threads: usize, smoke: bool) -> Run {
+    use emerald::soc::cpu::{CpuWorkload, Phase};
+    let frames: u32 = if smoke { 2 } else { 4 };
+    let (setup_ms, (mut soc, binding, aspect)) = timed(|| {
+        use emerald::soc::experiment::MemCfgKind;
+        std::env::set_var("EMERALD_THREADS", threads.to_string());
+        let (w, h) = if smoke { (48, 32) } else { (64, 48) };
+        let parked = || CpuWorkload {
+            phases: vec![Phase::WaitGpu],
+        };
+        let mut cfg = SocConfig::case_study_1(
+            MemCfgKind::Dcb.build(DramConfig::lpddr3_1333()),
+            w,
+            h,
+            200_000,
+        );
+        cfg.cpu_workloads = vec![CpuWorkload::driver(), parked(), parked(), parked()];
+        let soc = Soc::new(cfg);
+        let binding = SceneBinding::new(&soc.mem, &emerald::scene::workloads::idle_model());
+        std::env::remove_var("EMERALD_THREADS");
+        (soc, binding, w as f32 / h as f32)
+    });
+    emerald::obs::prof::reset();
+    let (sim_ms, cycles) = timed(|| {
+        for f in 0..frames {
+            soc.run_frame(vec![binding.draw_for_frame(f, aspect, false)], 500_000_000);
+        }
+        soc.now()
+    });
+    let profile = take_profile();
+    let phases = PhaseTimes {
+        setup_ms,
+        sim_ms,
+        readback_ms: 0.0,
     };
     Run {
         threads,

@@ -23,6 +23,8 @@ fn assert_profile_shape(p: &Json) {
         "soc_cycles",
         "soc_skippable_cycles",
         "soc_skippable_frac",
+        "cpu_batches",
+        "cpu_batch_cycles",
     ] {
         assert!(
             p.get(field).and_then(|v| v.as_num()).is_some(),

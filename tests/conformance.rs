@@ -10,9 +10,10 @@ use emerald::common::check::{check_n, minimize};
 use emerald::common::rng::Xorshift64;
 use emerald_conformance::isadiff::{self, shrink_failing};
 use emerald_conformance::{
-    check_case, check_case_matrix, check_with_injected_bug, conf_cases, gap_oracle, gen_draw,
-    gen_program, run_draw_case, run_draw_case_timed, shrink_draw_candidates, shrink_gap_candidates,
-    skip_dispatch_points, GapScenario,
+    batch_oracle, check_case, check_case_matrix, check_with_injected_bug, conf_cases, gap_oracle,
+    gen_draw, gen_program, run_draw_case, run_draw_case_timed, shrink_batch_candidates,
+    shrink_draw_candidates, shrink_gap_candidates, skip_dispatch_points, BatchScenario,
+    GapScenario,
 };
 
 /// Shrink-step budget. Generated programs have < 40 instructions, so this
@@ -181,6 +182,48 @@ fn under_reported_next_event_is_caught_and_shrunk() {
         assert!(small.lag >= 1, "shrinking never reaches the honest lag 0");
         assert!(small.reqs <= sc.reqs && small.lag <= sc.lag);
         gap_oracle(&small).expect_err(&format!(
+            "shrunk scenario still fails: {}",
+            small.describe()
+        ));
+    });
+}
+
+/// The batch-contract canary: a batch scheduler that deliberately runs a
+/// core *past* a response-delivery cycle (the unsafe direction of the
+/// `run_batch` contract) must be caught by the twin-core oracle as a
+/// diverging request trace or statistic, replay from its seed, and shrink
+/// to a minimal still-failing scenario that keeps the overrun alive.
+#[test]
+fn overrun_batch_window_is_caught_and_shrunk() {
+    // The honest scheduler passes...
+    batch_oracle(&BatchScenario {
+        instrs: 4_000,
+        mem_ratio_pct: 100,
+        footprint_kb: 4 << 10,
+        latency: 60,
+        overrun: 0,
+    })
+    .expect("honest batch windows conform");
+    // ...and seeded random overruns are always caught, then minimized.
+    check_n("batch_overrun_canary", 8, |rng| {
+        let sc = BatchScenario {
+            instrs: rng.range(2_000, 8_000),
+            mem_ratio_pct: rng.range(60, 101) as u32,
+            footprint_kb: 1024 << rng.below(4),
+            latency: rng.range(20, 200),
+            overrun: rng.range(1, 32),
+        };
+        let v = batch_oracle(&sc).expect_err("overrun batch window must be caught");
+        assert!(!v.detail.is_empty());
+        let (small, _steps) = minimize(
+            sc.clone(),
+            shrink_batch_candidates,
+            |c| batch_oracle(c).is_err(),
+            64,
+        );
+        assert!(small.overrun >= 1, "shrinking never reaches the honest 0");
+        assert!(small.instrs <= sc.instrs && small.overrun <= sc.overrun);
+        batch_oracle(&small).expect_err(&format!(
             "shrunk scenario still fails: {}",
             small.describe()
         ));
