@@ -20,6 +20,9 @@
 //! * [`json`] — a strict RFC 8259 parser used by schema tests to validate
 //!   the serde-free JSON writers (registry dump, Chrome trace, bench
 //!   report).
+//! * [`snap`] — the versioned binary snapshot codec behind
+//!   checkpoint/restore: tagged length-prefixed sections, a trailing
+//!   checksum, and typed decode errors (never panics on bad input).
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@ pub mod hash;
 pub mod json;
 pub mod math;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod types;
 

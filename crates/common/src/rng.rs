@@ -84,6 +84,24 @@ impl Xorshift64 {
         self.next_f64() < p.clamp(0.0, 1.0)
     }
 
+    /// The raw internal state, for checkpointing. Feed it back through
+    /// [`Xorshift64::from_state`] to resume the exact stream position.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator from a raw [`Xorshift64::state`] value.
+    /// Unlike [`Xorshift64::new`] this performs no zero-remapping: the
+    /// value must come from `state()` (which can never be zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state == 0` (not a reachable generator state).
+    pub fn from_state(state: u64) -> Self {
+        assert!(state != 0, "zero is not a valid xorshift state");
+        Self { state }
+    }
+
     /// Advances the generator by `n` draws without using the outputs.
     ///
     /// `discard(n)` leaves the generator in exactly the state `n` calls to
@@ -166,6 +184,18 @@ mod tests {
         let mut r = Xorshift64::new(9);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut r = Xorshift64::new(0xFEED);
+        for _ in 0..17 {
+            r.next_u64();
+        }
+        let mut resumed = Xorshift64::from_state(r.state());
+        for _ in 0..100 {
+            assert_eq!(r.next_u64(), resumed.next_u64());
+        }
     }
 
     #[test]

@@ -68,6 +68,37 @@ impl TrafficSource {
     pub fn is_ip(self) -> bool {
         !self.is_cpu()
     }
+
+    /// Encodes the source for a snapshot (tag byte plus optional index).
+    pub fn snap_write(self, w: &mut crate::snap::SnapWriter) {
+        match self {
+            TrafficSource::Cpu(i) => {
+                w.put_u8(0);
+                w.put_usize(i);
+            }
+            TrafficSource::Gpu => w.put_u8(1),
+            TrafficSource::Display => w.put_u8(2),
+            TrafficSource::OtherIp(i) => {
+                w.put_u8(3);
+                w.put_usize(i);
+            }
+        }
+    }
+
+    /// Decodes a source written by [`TrafficSource::snap_write`].
+    pub fn snap_read(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(match r.get_u8()? {
+            0 => TrafficSource::Cpu(r.get_usize()?),
+            1 => TrafficSource::Gpu,
+            2 => TrafficSource::Display,
+            3 => TrafficSource::OtherIp(r.get_usize()?),
+            _ => {
+                return Err(crate::snap::SnapError::BadValue {
+                    what: "traffic source tag",
+                })
+            }
+        })
+    }
 }
 
 impl fmt::Display for TrafficSource {
@@ -88,6 +119,27 @@ pub enum AccessKind {
     Read,
     /// A store; modeled as posted (no response needed by the requester).
     Write,
+}
+
+impl AccessKind {
+    /// Encodes the kind for a snapshot (one tag byte).
+    pub fn snap_write(self, w: &mut crate::snap::SnapWriter) {
+        w.put_u8(match self {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+        });
+    }
+
+    /// Decodes a kind written by [`AccessKind::snap_write`].
+    pub fn snap_read(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(AccessKind::Read),
+            1 => Ok(AccessKind::Write),
+            _ => Err(crate::snap::SnapError::BadValue {
+                what: "access kind tag",
+            }),
+        }
+    }
 }
 
 /// Aligns `addr` down to a `block` boundary. `block` must be a power of two.

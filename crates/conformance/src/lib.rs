@@ -20,6 +20,9 @@
 //! - [`batchconf`] checks the batched CPU execution contract
 //!   (`run_batch`) with a twin-core oracle and an injected
 //!   window-overrun canary.
+//! - [`snapconf`] checks checkpoint/restore snapshot invisibility with a
+//!   straight-vs-restored twin oracle and injected byte-corruption and
+//!   stale-RNG-stream canaries.
 //!
 //! Failures replay from a single case seed (see
 //! `emerald_common::check`) and are shrunk with
@@ -33,6 +36,7 @@ pub mod eventconf;
 pub mod isadiff;
 pub mod proggen;
 pub mod refmodel;
+pub mod snapconf;
 
 pub use batchconf::{batch_oracle, shrink_batch_candidates, BatchScenario, BatchViolation};
 pub use drawgen::{gen_draw, run_draw_case, run_draw_case_timed, shrink_draw_candidates, DrawCase};
@@ -43,6 +47,7 @@ pub use isadiff::{
 };
 pub use proggen::{gen_program, shrink_candidates, GenProgram};
 pub use refmodel::{run_reference, RefResult};
+pub use snapconf::{shrink_snap_candidates, snap_oracle, SnapBug, SnapScenario, SnapViolation};
 
 /// Number of random ISA programs / draws the conformance tests run,
 /// overridable via `EMERALD_CONF_CASES` (CI runs 32 per push and 512 in

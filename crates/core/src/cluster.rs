@@ -7,6 +7,7 @@ use crate::config::GfxConfig;
 use crate::geom::{setup_prim, ClipVert, ScreenPrim, NUM_VARYINGS};
 use crate::tcmap::TcMap;
 use emerald_common::hash::{FxHashMap, FxHashSet};
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::types::Cycle;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -324,6 +325,81 @@ impl ClusterPipe {
     /// shading positions are tracked separately by the renderer).
     pub fn is_drained(&self) -> bool {
         self.upstream_empty() && !self.tc.has_work()
+    }
+
+    /// Serializes the persistent pipeline state. Checkpoints sit at a
+    /// drained frame boundary, so only the Hi-Z buffer, the statistics and
+    /// the TC engines' staleness clocks survive between frames; in-flight
+    /// primitives hold `Rc<ScreenPrim>` and are never serialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipe still has work in flight or TC positions are
+    /// still being shaded.
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        assert!(
+            self.is_drained() && self.tc.busy.is_empty(),
+            "cluster pipe must be drained at a checkpoint"
+        );
+        let mut hiz: Vec<((u32, u32), f32)> = self.hiz.iter().map(|(&k, &v)| (k, v)).collect();
+        hiz.sort_unstable_by_key(|&(k, _)| k);
+        w.put_seq(hiz.iter(), |w, ((x, y), z)| {
+            w.put_u32(*x);
+            w.put_u32(*y);
+            w.put_f32(*z);
+        });
+        w.put_seq(self.tc.engines.iter(), |w, e| w.put_u64(e.last_new));
+        w.put_u64(self.stats.prims_setup);
+        w.put_u64(self.stats.raster_tiles);
+        w.put_u64(self.stats.hiz_killed);
+        w.put_u64(self.stats.fragments);
+        w.put_u64(self.stats.tc_tiles);
+        w.put_u64(self.stats.tc_conflict_flushes);
+        w.put_u64(self.stats.tc_timeout_flushes);
+    }
+
+    /// Restores a [`snapshot`](Self::snapshot), clearing any transient
+    /// state left from construction.
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let hiz = r.get_seq(12, |r| {
+            let x = r.get_u32()?;
+            let y = r.get_u32()?;
+            let z = r.get_f32()?;
+            Ok(((x, y), z))
+        })?;
+        self.hiz = hiz.into_iter().collect();
+        let last_new = r.get_seq(8, |r| r.get_u64())?;
+        if last_new.len() != self.tc.engines.len() {
+            return Err(SnapError::BadValue {
+                what: "TC engine count mismatch",
+            });
+        }
+        for (e, t) in self.tc.engines.iter_mut().zip(last_new) {
+            e.pos = None;
+            for s in &mut e.slots {
+                *s = None;
+            }
+            e.last_new = t;
+        }
+        self.stats = ClusterStats {
+            prims_setup: r.get_u64()?,
+            raster_tiles: r.get_u64()?,
+            hiz_killed: r.get_u64()?,
+            fragments: r.get_u64()?,
+            tc_tiles: r.get_u64()?,
+            tc_conflict_flushes: r.get_u64()?,
+            tc_timeout_flushes: r.get_u64()?,
+        };
+        self.setup_in.clear();
+        self.setup_wip.clear();
+        self.coarse_q.clear();
+        self.coarse = None;
+        self.hiz_q.clear();
+        self.fine_q.clear();
+        self.tc.in_q.clear();
+        self.tc.flush_q.clear();
+        self.tc.busy.clear();
+        Ok(())
     }
 
     /// Advances the pipeline one cycle.

@@ -8,6 +8,7 @@
 
 use crate::state::{RenderTarget, TextureDesc};
 use emerald_common::math::{pack_rgba8, unpack_rgba8};
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::types::Addr;
 use emerald_gpu::phase::CycleCtx;
 use emerald_isa::op::MemSpace;
@@ -179,6 +180,56 @@ impl<M: FuncMem> ExecCtx for GfxCtx<M> {
         self.mem
             .write_u32(addr, pack_rgba8(rgba[0], rgba[1], rgba[2], rgba[3]));
         addr
+    }
+}
+
+impl<M: FuncMem> emerald_common::snap::Snapshot for GfxCtx<M> {
+    /// Serializes the pipeline bindings (render target, samplers) and the
+    /// functional counters. The backing memory image is serialized
+    /// separately at the SoC level.
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_u32(self.rt.width);
+        w.put_u32(self.rt.height);
+        w.put_u64(self.rt.color_base);
+        w.put_u64(self.rt.depth_base);
+        for t in &self.textures {
+            w.put_opt(t, |w, t| {
+                w.put_u64(t.base);
+                w.put_u32(t.width);
+                w.put_u32(t.height);
+            });
+        }
+        w.put_u64(self.stats.ztest_pass);
+        w.put_u64(self.stats.ztest_fail);
+        w.put_u64(self.stats.tex_samples);
+        w.put_u64(self.stats.fb_writes);
+    }
+}
+
+impl<M: FuncMem> emerald_common::snap::Restore for GfxCtx<M> {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.rt = RenderTarget {
+            width: r.get_u32()?,
+            height: r.get_u32()?,
+            color_base: r.get_u64()?,
+            depth_base: r.get_u64()?,
+        };
+        for t in &mut self.textures {
+            *t = r.get_opt(|r| {
+                Ok(TextureDesc {
+                    base: r.get_u64()?,
+                    width: r.get_u32()?,
+                    height: r.get_u32()?,
+                })
+            })?;
+        }
+        self.stats = GfxCtxStats {
+            ztest_pass: r.get_u64()?,
+            ztest_fail: r.get_u64()?,
+            tex_samples: r.get_u64()?,
+            fb_writes: r.get_u64()?,
+        };
+        Ok(())
     }
 }
 

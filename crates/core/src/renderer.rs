@@ -24,6 +24,7 @@ use crate::tcmap::TcMap;
 use crate::vpo::{Pmrb, PrimMask, VpoStats, VpoUnit};
 use emerald_common::hash::{FxHashMap, FxHashSet};
 use emerald_common::math::Vec4;
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::types::{Addr, Cycle};
 use emerald_gpu::gpu::MemPort;
 use emerald_gpu::warp::{Warp, WarpTag};
@@ -35,7 +36,7 @@ use emerald_mem::link::Link;
 use std::collections::VecDeque;
 
 /// Per-frame measurement results.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FrameStats {
     /// Total cycles from first dispatch to full drain.
     pub cycles: Cycle,
@@ -775,6 +776,96 @@ impl GpuRenderer {
     }
 }
 
+impl emerald_common::snap::Snapshot for GpuRenderer {
+    /// Serializes the renderer at a drained checkpoint boundary: the GPU
+    /// (cores, caches, write-id stream), the functional context bindings,
+    /// the WT granularity, the OVB allocation, per-cluster pipes and VPO
+    /// statistics, interconnect counters, launch-id cursors, frame
+    /// counters and the monotonic clock. Draw calls hold `Arc<Program>`
+    /// and are never in flight at a boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a draw is pending or in flight, fragments are
+    /// outstanding, or any warp job / TC tile is still tracked.
+    fn snapshot(&self, w: &mut SnapWriter) {
+        assert!(self.is_idle(), "renderer must be drained at a checkpoint");
+        assert!(
+            self.frag_outstanding == 0
+                && self.jobs.is_empty()
+                && self.tiles.is_empty()
+                && self.launching.iter().all(Option::is_none),
+            "no warp jobs or TC tiles may be tracked at a checkpoint"
+        );
+        w.section(1, |w| self.gpu.snapshot(w));
+        w.section(2, |w| self.ctx.snapshot(w));
+        w.put_u32(self.tcmap.wt());
+        w.put_u64(self.ovb_base);
+        w.put_u64(self.ovb_slots);
+        w.put_usize(self.pipes.len());
+        for p in &self.pipes {
+            w.section(3, |w| p.snapshot(w));
+        }
+        for v in &self.vpos {
+            w.section(4, |w| v.snapshot(w));
+        }
+        self.mask_link.snapshot_drained(w);
+        w.put_seq(self.launch_tile_ids.iter(), |w, &id| w.put_u64(id));
+        w.put_u64(self.next_id);
+        w.put_seq(self.per_core_fragments.iter(), |w, &f| w.put_u64(f));
+        w.put_u64(self.vertices_shaded);
+        w.put_u64(self.vertex_warps);
+        w.put_u64(self.clock);
+        w.put_seq(self.draw_times.iter(), |w, &t| w.put_u64(t));
+    }
+}
+
+impl emerald_common::snap::Restore for GpuRenderer {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section(1, |r| self.gpu.restore(r))?;
+        r.section(2, |r| self.ctx.restore(r))?;
+        self.rt = *self.ctx.render_target();
+        let wt = r.get_u32()?;
+        self.tcmap.set_wt(wt);
+        self.cfg.wt_size = wt;
+        self.ovb_base = r.get_u64()?;
+        self.ovb_slots = r.get_u64()?;
+        let n = self.pipes.len();
+        if r.get_usize()? != n {
+            return Err(SnapError::BadValue {
+                what: "renderer cluster count mismatch",
+            });
+        }
+        for p in &mut self.pipes {
+            r.section(3, |r| p.restore(r))?;
+        }
+        for v in &mut self.vpos {
+            r.section(4, |r| v.restore(r))?;
+        }
+        self.mask_link.restore_drained(r)?;
+        self.launch_tile_ids = r.get_seq(8, |r| r.get_u64())?;
+        self.next_id = r.get_u64()?;
+        self.per_core_fragments = r.get_seq(8, |r| r.get_u64())?;
+        if self.launch_tile_ids.len() != n || self.per_core_fragments.len() != n {
+            return Err(SnapError::BadValue {
+                what: "renderer per-cluster vector length mismatch",
+            });
+        }
+        self.vertices_shaded = r.get_u64()?;
+        self.vertex_warps = r.get_u64()?;
+        self.clock = r.get_u64()?;
+        self.draw_times = r.get_seq(8, |r| r.get_u64())?;
+        self.cur = None;
+        self.queue.clear();
+        self.jobs.clear();
+        self.tiles.clear();
+        self.launching = (0..n).map(|_| None).collect();
+        self.frag_outstanding = 0;
+        self.pmrbs = (0..n).map(|_| Pmrb::new(0)).collect();
+        Ok(())
+    }
+}
+
 impl emerald_common::event::NextEvent for GpuRenderer {
     /// The renderer's fixed-function stages (VPO, PMRB, raster, TC
     /// flush timers, warp launch) make per-cycle decisions whenever a
@@ -851,6 +942,59 @@ mod tests {
             blend: fso.blend,
             texture: tex,
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_renders_next_frame_in_lockstep() {
+        use emerald_common::snap::{Restore as _, SnapReader, SnapWriter, Snapshot as _};
+        let (mut a, mut port_a, mem_a, rt_a) = setup();
+        let fso = FsOptions {
+            textured: false,
+            ..FsOptions::default()
+        };
+        a.draw(make_draw(&mem_a, &unit_cube(), cube_mvp(0), fso, None));
+        a.run_frame(&mut port_a, 3_000_000);
+        // Quiesce the DRAM writeback tail so the system is checkpointable.
+        let mut now = a.clock;
+        while !port_a.mem.is_idle() {
+            port_a.tick(now);
+            now += 1;
+        }
+        while port_a.recv(now).is_some() {}
+
+        let mut w = SnapWriter::new();
+        a.snapshot(&mut w);
+        mem_a.snapshot(&mut w);
+        port_a.mem.snapshot(&mut w);
+        let enc = w.into_bytes();
+
+        let (mut b, mut port_b, mut mem_b, rt_b) = setup();
+        let mut r = SnapReader::new(&enc);
+        b.restore(&mut r).unwrap();
+        mem_b.restore(&mut r).unwrap();
+        port_b.mem.restore(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(b.clock, a.clock, "monotonic clock must carry over");
+
+        // Render an identical second frame on both; the restored renderer
+        // must replay it cycle-for-cycle (same warm caches, same DRAM
+        // timestamps, same allocator cursor).
+        let dc_a = make_draw(&mem_a, &unit_cube(), cube_mvp(1), fso, None);
+        let dc_b = make_draw(&mem_b, &unit_cube(), cube_mvp(1), fso, None);
+        assert_eq!(dc_a.vb.base, dc_b.vb.base, "allocator cursors must match");
+        a.draw(dc_a);
+        b.draw(dc_b);
+        let sa = a.run_frame(&mut port_a, 3_000_000);
+        let sb = b.run_frame(&mut port_b, 3_000_000);
+        assert_eq!(sa.cycles, sb.cycles, "frame timing must be identical");
+        assert_eq!(sa.fragments, sb.fragments);
+        assert_eq!(sa.l1d_misses, sb.l1d_misses);
+        assert_eq!(a.clock, b.clock);
+        assert_eq!(
+            rt_a.read_color(&mem_a),
+            rt_b.read_color(&mem_b),
+            "framebuffers must be identical"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::config::{GpuConfig, WarpSched};
 use crate::warp::{Warp, WarpTag};
 use emerald_common::hash::FxHashMap;
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::types::{AccessKind, Addr, CoreId, Cycle};
 use emerald_isa::exec::Surface;
 use emerald_isa::op::{LatencyClass, Op};
@@ -642,6 +643,178 @@ impl SimtCore {
         if w.stack.is_done() {
             w.exited = true;
         }
+    }
+}
+
+/// Snapshot tag for a [`Surface`] (all five variants, unlike the 2-bit
+/// L2 MSHR packing which excludes shared memory).
+pub(crate) fn surface_snap_write(s: Surface, w: &mut SnapWriter) {
+    w.put_u8(match s {
+        Surface::Data => 0,
+        Surface::Texture => 1,
+        Surface::Depth => 2,
+        Surface::ConstVertex => 3,
+        Surface::Shared => 4,
+    });
+}
+
+pub(crate) fn surface_snap_read(r: &mut SnapReader<'_>) -> Result<Surface, SnapError> {
+    Ok(match r.get_u8()? {
+        0 => Surface::Data,
+        1 => Surface::Texture,
+        2 => Surface::Depth,
+        3 => Surface::ConstVertex,
+        4 => Surface::Shared,
+        _ => {
+            return Err(SnapError::BadValue {
+                what: "surface tag",
+            })
+        }
+    })
+}
+
+impl L1Miss {
+    pub(crate) fn snap_write(&self, w: &mut SnapWriter) {
+        w.put_usize(self.core);
+        surface_snap_write(self.surface, w);
+        w.put_u64(self.line);
+        self.kind.snap_write(w);
+    }
+
+    pub(crate) fn snap_read(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            core: r.get_usize()?,
+            surface: surface_snap_read(r)?,
+            line: r.get_u64()?,
+            kind: AccessKind::snap_read(r)?,
+        })
+    }
+}
+
+impl emerald_common::snap::Snapshot for SimtCore {
+    /// Serializes scheduler history, the four L1s, and the deferred
+    /// writeback/token queues. Checkpoints land at drained boundaries:
+    /// no warp is resident and no memory token is in flight, so warps
+    /// (which hold `Arc<Program>` handles) never need to be encoded.
+    /// `reg_release`/`token_done`/`miss_out` *can* outlive the last warp
+    /// by a few cycles — `is_active` treats them as live work — so they
+    /// are serialized rather than asserted away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a warp is resident or a token/line access is in flight
+    /// (a checkpoint-placement bug).
+    fn snapshot(&self, w: &mut SnapWriter) {
+        assert!(
+            self.resident == 0 && self.tokens.is_empty() && self.lsu.is_empty(),
+            "SIMT core must be drained at a checkpoint"
+        );
+        assert!(
+            self.finished.is_empty(),
+            "finished-warp tags must be consumed before a checkpoint"
+        );
+        w.put_seq(self.seq.iter(), |w, &s| w.put_u64(s));
+        w.put_u64(self.next_seq);
+        w.put_seq(self.last_greedy.iter(), |w, g| {
+            w.put_opt(g, |w, &slot| w.put_usize(slot));
+        });
+        w.section(1, |w| self.l1d.snapshot(w));
+        w.section(2, |w| self.l1t.snapshot(w));
+        w.section(3, |w| self.l1z.snapshot(w));
+        w.section(4, |w| self.l1c.snapshot(w));
+        w.put_u64(self.next_token);
+        w.put_seq(self.reg_release.iter(), |w, (&cycle, rels)| {
+            w.put_u64(cycle);
+            w.put_seq(rels.iter(), |w, (slot, regs)| {
+                w.put_usize(*slot);
+                w.put_bytes(regs);
+            });
+        });
+        w.put_seq(self.token_done.iter(), |w, (&cycle, toks)| {
+            w.put_u64(cycle);
+            w.put_seq(toks.iter(), |w, &t| w.put_u64(t));
+        });
+        w.put_seq(self.miss_out.iter(), |w, m| m.snap_write(w));
+        w.put_usize(self.used_regs);
+        // FxHashMap iteration order is arbitrary; sort for stable bytes.
+        let mut barriers: Vec<_> = self.barriers.iter().collect();
+        barriers.sort();
+        w.put_seq(barriers.into_iter(), |w, (&(cta, bar), &count)| {
+            w.put_usize(cta);
+            w.put_usize(bar);
+            w.put_usize(count);
+        });
+        w.put_u64(self.stats.issued);
+        w.put_u64(self.stats.mem_instrs);
+        w.put_u64(self.stats.active_cycles);
+        w.put_u64(self.stats.cycles);
+        w.put_u64(self.stats.warps_launched);
+        w.put_u64(self.stats.warps_retired);
+        w.put_u64(self.now);
+    }
+}
+
+impl emerald_common::snap::Restore for SimtCore {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let seq = r.get_seq(8, |r| r.get_u64())?;
+        if seq.len() != self.cfg.max_warps_per_core {
+            return Err(SnapError::BadValue {
+                what: "warp slot count mismatch",
+            });
+        }
+        let next_seq = r.get_u64()?;
+        let last_greedy = r.get_seq(1, |r| r.get_opt(|r| r.get_usize()))?;
+        if last_greedy.len() != self.cfg.schedulers_per_core {
+            return Err(SnapError::BadValue {
+                what: "scheduler count mismatch",
+            });
+        }
+        self.seq = seq;
+        self.next_seq = next_seq;
+        self.last_greedy = last_greedy;
+        r.section(1, |r| self.l1d.restore(r))?;
+        r.section(2, |r| self.l1t.restore(r))?;
+        r.section(3, |r| self.l1z.restore(r))?;
+        r.section(4, |r| self.l1c.restore(r))?;
+        self.next_token = r.get_u64()?;
+        self.reg_release = r
+            .get_seq(9, |r| {
+                Ok((
+                    r.get_u64()?,
+                    r.get_seq(9, |r| Ok((r.get_usize()?, r.get_bytes()?.to_vec())))?,
+                ))
+            })?
+            .into_iter()
+            .collect();
+        self.token_done = r
+            .get_seq(9, |r| Ok((r.get_u64()?, r.get_seq(8, |r| r.get_u64())?)))?
+            .into_iter()
+            .collect();
+        self.miss_out = r.get_seq(18, L1Miss::snap_read)?.into();
+        self.used_regs = r.get_usize()?;
+        self.barriers = r
+            .get_seq(24, |r| {
+                Ok(((r.get_usize()?, r.get_usize()?), r.get_usize()?))
+            })?
+            .into_iter()
+            .collect();
+        self.stats = CoreStats {
+            issued: r.get_u64()?,
+            mem_instrs: r.get_u64()?,
+            active_cycles: r.get_u64()?,
+            cycles: r.get_u64()?,
+            warps_launched: r.get_u64()?,
+            warps_retired: r.get_u64()?,
+        };
+        self.now = r.get_u64()?;
+        // The drained invariant: no warps, tokens, or line accesses carry
+        // across a checkpoint.
+        self.warps.iter_mut().for_each(|w| *w = None);
+        self.resident = 0;
+        self.tokens.clear();
+        self.lsu.clear();
+        self.finished.clear();
+        Ok(())
     }
 }
 

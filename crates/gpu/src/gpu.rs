@@ -8,6 +8,7 @@ use crate::kernel::{Kernel, KernelState, INPUT_SHARED_BASE};
 use crate::l2::{L1Target, L2};
 use crate::phase::{host_parallelism, CorePool, CycleCtx, SendPtr};
 use crate::warp::{Warp, WarpTag};
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::types::{AccessKind, Addr, CoreId, Cycle, TrafficSource};
 use emerald_mem::link::Link;
 use emerald_mem::req::{MemRequest, MemResponse, ReqIdGen};
@@ -681,6 +682,96 @@ impl Gpu {
     }
 }
 
+impl emerald_common::snap::Snapshot for Gpu {
+    /// Serializes the GPU at a drained boundary: every core idle (their
+    /// L1s, scheduler history and deferred queues still carry state), the
+    /// interconnect empty, and no DRAM read outstanding. Kernel records
+    /// hold `Arc<Program>` handles and cannot be encoded — all kernels
+    /// must have retired, and only their count is recorded so launch ids
+    /// keep advancing identically after a restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if work is still in flight (a checkpoint-placement bug).
+    fn snapshot(&self, w: &mut SnapWriter) {
+        assert!(self.is_idle(), "GPU must be drained at a checkpoint");
+        assert!(
+            self.finished_external.is_empty(),
+            "finished-warp notifications must be consumed before a checkpoint"
+        );
+        assert!(
+            self.store_bufs.iter().all(|b| b.is_empty()),
+            "store buffers are committed every cycle and must be empty"
+        );
+        w.put_usize(self.cores.len());
+        for c in &self.cores {
+            w.section(1, |w| c.snapshot(w));
+        }
+        w.section(2, |w| self.l2.snapshot(w));
+        self.core_to_l2.snapshot_drained(w);
+        self.l2_to_core.snapshot_drained(w);
+        // The read-slab geometry and free list steer future request ids.
+        w.put_usize(self.dram_pending.len());
+        w.put_seq(self.dram_free.iter(), |w, &id| w.put_u64(id));
+        self.write_ids.snapshot(w);
+        w.put_usize(self.kernels.len());
+        w.put_usize(self.cta_cursor);
+        w.put_u64(self.stats.issued);
+        w.put_u64(self.stats.warps_retired);
+        w.put_u64(self.stats.mem_reads);
+        w.put_u64(self.stats.mem_writes);
+    }
+}
+
+impl emerald_common::snap::Restore for Gpu {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.get_usize()? != self.cores.len() {
+            return Err(SnapError::BadValue {
+                what: "GPU core count mismatch",
+            });
+        }
+        for c in &mut self.cores {
+            r.section(1, |r| c.restore(r))?;
+        }
+        r.section(2, |r| self.l2.restore(r))?;
+        self.core_to_l2.restore_drained(r)?;
+        self.l2_to_core.restore_drained(r)?;
+        let slab = r.get_usize()?;
+        let free = r.get_seq(8, |r| r.get_u64())?;
+        if free.len() > slab {
+            return Err(SnapError::BadValue {
+                what: "DRAM free list larger than its slab",
+            });
+        }
+        self.dram_pending = vec![None; slab];
+        self.dram_free = free;
+        self.dram_inflight = 0;
+        self.write_ids.restore(r)?;
+        let kernel_count = r.get_usize()?;
+        if kernel_count != self.kernels.len() || self.kernels.iter().any(|k| !k.is_done()) {
+            return Err(SnapError::BadValue {
+                what: "restore target must hold the same retired kernels as the snapshot",
+            });
+        }
+        self.cta_cursor = r.get_usize()?;
+        self.stats = GpuStats {
+            issued: r.get_u64()?,
+            warps_retired: r.get_u64()?,
+            mem_reads: r.get_u64()?,
+            mem_writes: r.get_u64()?,
+        };
+        self.fill_backlog.clear();
+        self.to_mem.clear();
+        self.finished_external.clear();
+        for b in &mut self.store_bufs {
+            b.drain(|_, _, _| {});
+            b.take_aux();
+        }
+        self.collect_active();
+        Ok(())
+    }
+}
+
 impl emerald_common::event::NextEvent for Gpu {
     /// The GPU has no cheaply-predictable internal events: any in-flight
     /// work (active cores, interconnect/L2 traffic, outstanding DRAM
@@ -819,6 +910,90 @@ mod tests {
         gpu.run_to_idle(0, 100_000, &mut ctx, &mut port);
         let done = gpu.drain_external_finished();
         assert_eq!(done, vec![(CoreId(1), 0xBEEF)]);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_warm_caches_and_ids() {
+        use emerald_common::snap::{Restore as _, SnapReader, SnapWriter, Snapshot as _};
+        let (mut gpu, mut ctx_a, mut port_a) = setup();
+        let (_, mut ctx_b, mut port_b) = setup();
+        // Read-only warp so the two memory images stay identical.
+        let src = "
+            mov.b32 r0, %laneid
+            shl.u32 r1, r0, 2
+            add.u32 r1, r1, %param0
+            ld.global.b32 r2, [r1+0]
+            exit";
+        let prog = Arc::new(assemble(src).unwrap());
+        let base = ctx_a.mem().alloc(4096, 128);
+        let base_b = ctx_b.mem().alloc(4096, 128);
+        assert_eq!(base, base_b);
+        let warp = |tag: u64| {
+            Warp::new(
+                vec![emerald_isa::ThreadState::new(); 32],
+                prog.clone(),
+                vec![base as u32],
+                WarpTag::External(tag),
+            )
+        };
+        gpu.core_mut(0).launch(warp(1)).unwrap();
+        let end = gpu.run_to_idle(0, 100_000, &mut ctx_a, &mut port_a);
+        gpu.drain_external_finished();
+        // Drain the DRAM write/housekeeping tail so the port is quiet too.
+        let mut now = end;
+        while !port_a.mem.is_idle() {
+            port_a.tick(now);
+            now += 1;
+        }
+        while port_a.recv(now).is_some() {}
+
+        let mut w = SnapWriter::new();
+        gpu.snapshot(&mut w);
+        port_a.mem.snapshot(&mut w);
+        let enc = w.into_bytes();
+
+        let mut twin = Gpu::new(GpuConfig::tiny());
+        let mut r = SnapReader::new(&enc);
+        twin.restore(&mut r).unwrap();
+        port_b.mem.restore(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Same warp again: the restored GPU has the same warm L1/L2 and
+        // must take exactly as many cycles as the original.
+        gpu.core_mut(0).launch(warp(2)).unwrap();
+        twin.core_mut(0).launch(warp(2)).unwrap();
+        let t_a = gpu.run_to_idle(now, 100_000, &mut ctx_a, &mut port_a);
+        let t_b = twin.run_to_idle(now, 100_000, &mut ctx_b, &mut port_b);
+        assert_eq!(t_a, t_b, "restored GPU must replay identical timing");
+        assert_eq!(
+            gpu.drain_external_finished(),
+            twin.drain_external_finished()
+        );
+        let (sa, sb) = (gpu.stats(), twin.stats());
+        assert_eq!(sa.issued, sb.issued);
+        assert_eq!(sa.warps_retired, sb.warps_retired);
+        assert_eq!(sa.mem_reads, sb.mem_reads);
+        assert_eq!(gpu.l2().stats().hits.num, twin.l2().stats().hits.num);
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_pending_kernel_mismatch() {
+        use emerald_common::snap::{Restore as _, SnapReader, SnapWriter, Snapshot as _};
+        let (mut gpu, mut ctx, mut port) = setup();
+        let prog = Arc::new(assemble("mov.b32 r0, %input0\nexit").unwrap());
+        let id = gpu.launch_kernel(Kernel::linear(prog, 64, 64, vec![]));
+        gpu.run_to_idle(0, 1_000_000, &mut ctx, &mut port);
+        assert!(gpu.kernel_done(id));
+        let mut w = SnapWriter::new();
+        gpu.snapshot(&mut w);
+        let enc = w.into_bytes();
+        // A fresh GPU never launched that kernel: the id-space would skew.
+        let mut fresh = Gpu::new(GpuConfig::tiny());
+        let mut r = SnapReader::new(&enc);
+        assert!(matches!(
+            fresh.restore(&mut r),
+            Err(SnapError::BadValue { .. })
+        ));
     }
 
     #[test]

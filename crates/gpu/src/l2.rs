@@ -7,6 +7,7 @@
 //! packed into the MSHR target ids.
 
 use crate::core::L1Miss;
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::types::{AccessKind, Addr, Cycle};
 use emerald_isa::exec::Surface;
 use emerald_mem::cache::{Access, Cache, CacheConfig, CacheStats};
@@ -198,6 +199,33 @@ impl L2 {
         for b in &mut self.banks {
             b.cache.reset_stats();
         }
+    }
+}
+
+impl emerald_common::snap::Snapshot for L2 {
+    /// Serializes every bank's cache (contents, MSHRs, stats) and its
+    /// input queue.
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_usize(self.banks.len());
+        for b in &self.banks {
+            w.section(1, |w| b.cache.snapshot(w));
+            w.put_seq(b.queue.iter(), |w, m| m.snap_write(w));
+        }
+    }
+}
+
+impl emerald_common::snap::Restore for L2 {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.get_usize()? != self.banks.len() {
+            return Err(SnapError::BadValue {
+                what: "L2 bank count mismatch",
+            });
+        }
+        for b in &mut self.banks {
+            r.section(1, |r| b.cache.restore(r))?;
+            b.queue = r.get_seq(11, L1Miss::snap_read)?.into();
+        }
+        Ok(())
     }
 }
 

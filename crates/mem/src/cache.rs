@@ -9,6 +9,7 @@
 
 use crate::req::ReqId;
 use emerald_common::hash::FxHashMap;
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::stats::Ratio;
 use emerald_common::types::{AccessKind, Addr, Cycle};
 
@@ -379,6 +380,83 @@ impl Cache {
     }
 }
 
+impl emerald_common::snap::Snapshot for Cache {
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_usize(self.sets.len());
+        for set in &self.sets {
+            w.put_seq(set.iter(), |w, line| {
+                w.put_u64(line.tag);
+                w.put_bool(line.valid);
+                w.put_bool(line.dirty);
+                w.put_bool(line.pending);
+                w.put_u64(line.lru);
+            });
+        }
+        // FxHashMap iteration order is nondeterministic across builds;
+        // sort by address so identical caches produce identical bytes.
+        let mut mshrs: Vec<_> = self.mshrs.iter().collect();
+        mshrs.sort_by_key(|&(addr, _)| *addr);
+        w.put_seq(mshrs.into_iter(), |w, (addr, m)| {
+            w.put_u64(*addr);
+            w.put_seq(m.targets.iter(), |w, &(id, kind)| {
+                w.put_u64(id);
+                kind.snap_write(w);
+            });
+        });
+        w.put_u64(self.lru_tick);
+        self.stats.hits.snap_write(w);
+        w.put_u64(self.stats.reads);
+        w.put_u64(self.stats.writes);
+        w.put_u64(self.stats.fills);
+        w.put_u64(self.stats.writebacks);
+        w.put_u64(self.stats.stalls);
+    }
+}
+
+impl emerald_common::snap::Restore for Cache {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.get_usize()? != self.sets.len() {
+            return Err(SnapError::BadValue {
+                what: "cache set count mismatch",
+            });
+        }
+        for set in &mut self.sets {
+            let ways = r.get_len(12)?;
+            if ways != set.len() {
+                return Err(SnapError::BadValue {
+                    what: "cache way count mismatch",
+                });
+            }
+            for line in set.iter_mut() {
+                line.tag = r.get_u64()?;
+                line.valid = r.get_bool()?;
+                line.dirty = r.get_bool()?;
+                line.pending = r.get_bool()?;
+                line.lru = r.get_u64()?;
+            }
+        }
+        let entries = r.get_seq(9, |r| {
+            let addr = r.get_u64()?;
+            let targets = r.get_seq(9, |r| Ok((r.get_u64()?, AccessKind::snap_read(r)?)))?;
+            Ok((addr, Mshr { targets }))
+        })?;
+        if entries.len() > self.cfg.mshrs {
+            return Err(SnapError::BadValue {
+                what: "more MSHRs than the cache configuration allows",
+            });
+        }
+        self.mshrs = entries.into_iter().collect();
+        self.lru_tick = r.get_u64()?;
+        self.stats.hits = Ratio::snap_read(r)?;
+        self.stats.reads = r.get_u64()?;
+        self.stats.writes = r.get_u64()?;
+        self.stats.fills = r.get_u64()?;
+        self.stats.writebacks = r.get_u64()?;
+        self.stats.stalls = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +470,48 @@ mod tests {
         let c = cache();
         assert_eq!(c.config().sets(), 8);
         assert_eq!(c.line_addr(0x12345), 0x12300);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_contents_mshrs_and_stats() {
+        use emerald_common::snap::{Restore as _, Snapshot as _};
+        let mut c = cache();
+        // Populate: a filled dirty line, a pending miss with a merged
+        // target, and some stat traffic.
+        c.access(0x1000, AccessKind::Write, 1, 0);
+        c.fill(0x1000);
+        c.access(0x2000, AccessKind::Read, 2, 1);
+        c.access(0x2004, AccessKind::Read, 3, 2);
+
+        let mut w = SnapWriter::new();
+        c.snapshot(&mut w);
+        let enc = w.into_bytes();
+        let mut d = cache();
+        let mut r = SnapReader::new(&enc);
+        d.restore(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Future behavior must match exactly: the pending fill completes
+        // with the same waiters, hits stay hits, stats agree.
+        assert_eq!(d.stats().hits, c.stats().hits);
+        assert_eq!(d.pending_lines(), 1);
+        assert_eq!(d.fill(0x2000), c.fill(0x2000));
+        assert_eq!(
+            d.access(0x1000, AccessKind::Read, 9, 5),
+            c.access(0x1000, AccessKind::Read, 9, 5)
+        );
+
+        // A geometry mismatch is a typed error, not UB.
+        let mut tiny = Cache::new(CacheConfig {
+            size_bytes: 2 * 128,
+            ways: 1,
+            ..CacheConfig::small("t")
+        });
+        let mut r = SnapReader::new(&enc);
+        assert!(matches!(
+            tiny.restore(&mut r),
+            Err(SnapError::BadValue { .. })
+        ));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use crate::req::MemRequest;
 use crate::sched::{BankState, DramScheduler, FrFcfs, QueuedReq};
 use emerald_common::rng::Xorshift64;
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::types::{Cycle, TrafficSource};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -224,6 +225,59 @@ impl DashShared {
     }
 }
 
+impl emerald_common::snap::Snapshot for DashHandle {
+    /// Serializes the entire shared scheduler state (clustering, windows,
+    /// fairness counters, and the RNG stream) exactly once — per-channel
+    /// `DashScheduler` instances are stateless views over this handle.
+    fn snapshot(&self, w: &mut SnapWriter) {
+        let s = self.0.borrow();
+        w.put_seq(s.cpu_bytes.iter(), |w, (&id, &b)| {
+            w.put_usize(id);
+            w.put_u64(b);
+        });
+        w.put_u64(s.ip_bytes);
+        w.put_seq(s.intensive.iter(), |w, &id| w.put_usize(id));
+        w.put_seq(s.urgent.iter(), |w, &src| src.snap_write(w));
+        w.put_u64(s.next_quantum);
+        w.put_u64(s.next_switch);
+        w.put_f64(s.p_cpu);
+        w.put_bool(s.window_prefers_cpu);
+        w.put_usize(s.shuffle_offset);
+        w.put_u64(s.next_shuffle);
+        w.put_u64(s.serviced_cpu_intensive);
+        w.put_u64(s.serviced_ip_nonurgent);
+        w.put_u64(s.rng.state());
+        w.put_u64(s.quanta);
+    }
+}
+
+impl emerald_common::snap::Restore for DashHandle {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let mut s = self.0.borrow_mut();
+        s.cpu_bytes = r
+            .get_seq(9, |r| Ok((r.get_usize()?, r.get_u64()?)))?
+            .into_iter()
+            .collect();
+        s.ip_bytes = r.get_u64()?;
+        s.intensive = r.get_seq(1, |r| r.get_usize())?.into_iter().collect();
+        s.urgent = r
+            .get_seq(1, TrafficSource::snap_read)?
+            .into_iter()
+            .collect();
+        s.next_quantum = r.get_u64()?;
+        s.next_switch = r.get_u64()?;
+        s.p_cpu = r.get_f64()?;
+        s.window_prefers_cpu = r.get_bool()?;
+        s.shuffle_offset = r.get_usize()?;
+        s.next_shuffle = r.get_u64()?;
+        s.serviced_cpu_intensive = r.get_u64()?;
+        s.serviced_ip_nonurgent = r.get_u64()?;
+        s.rng = Xorshift64::from_state(r.get_u64()?);
+        s.quanta = r.get_u64()?;
+        Ok(())
+    }
+}
+
 /// Handle owned by the SoC for feeding DASH its deadline information.
 #[derive(Debug, Clone)]
 pub struct DashHandle(Rc<RefCell<DashShared>>);
@@ -376,6 +430,54 @@ mod tests {
 
     fn banks() -> Vec<BankState> {
         vec![BankState::idle(); 8]
+    }
+
+    #[test]
+    fn snapshot_round_trip_keeps_rng_and_windows_in_lockstep() {
+        use emerald_common::snap::{Restore, SnapReader, SnapWriter, Snapshot};
+        let cfg = DashConfig::paper(Clustering::CpuOnly);
+        let h = DashHandle::new(cfg.clone());
+        h.set_urgent(TrafficSource::Display, true);
+        {
+            // Accumulate bandwidth and cross several rollover boundaries so
+            // every field diverges from its initial value.
+            let mut s = h.0.borrow_mut();
+            s.cpu_bytes.insert(0, 4096);
+            s.cpu_bytes.insert(3, 128);
+            s.ip_bytes = 9000;
+            s.serviced_cpu_intensive = 7;
+            s.serviced_ip_nonurgent = 3;
+            let boundary = s.next_boundary();
+            s.roll(boundary);
+            let boundary = s.next_boundary();
+            s.roll(boundary);
+        }
+
+        let mut w = SnapWriter::new();
+        Snapshot::snapshot(&h, &mut w);
+        let enc = w.into_bytes();
+
+        let mut twin = DashHandle::new(cfg);
+        let mut r = SnapReader::new(&enc);
+        Restore::restore(&mut twin, &mut r).unwrap();
+        r.finish().unwrap();
+
+        // Both handles must draw the same future RNG stream and agree on
+        // every scheduling decision input.
+        let mut a = h.0.borrow_mut();
+        let mut b = twin.0.borrow_mut();
+        assert_eq!(a.rng.state(), b.rng.state());
+        assert_eq!(a.next_boundary(), b.next_boundary());
+        assert_eq!(a.p_cpu, b.p_cpu);
+        assert_eq!(a.window_prefers_cpu, b.window_prefers_cpu);
+        assert_eq!(a.intensive, b.intensive);
+        assert_eq!(a.urgent, b.urgent);
+        assert_eq!(a.quanta, b.quanta);
+        let boundary = a.next_boundary();
+        a.roll(boundary);
+        b.roll(boundary);
+        assert_eq!(a.rng.state(), b.rng.state());
+        assert_eq!(a.window_prefers_cpu, b.window_prefers_cpu);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::mapping::DramLocation;
 use crate::req::{MemRequest, MemResponse};
 use crate::sched::{bank_index, BankState, DramScheduler, QueuedReq};
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::stats::Ratio;
 use emerald_common::types::{Cycle, TrafficSource};
 use std::collections::BTreeMap;
@@ -147,6 +148,36 @@ impl ChannelStats {
         for (s, b) in &o.source_bytes {
             *self.source_bytes.entry(*s).or_insert(0) += b;
         }
+    }
+
+    /// Encodes every counter for a snapshot.
+    pub fn snap_write(&self, w: &mut SnapWriter) {
+        self.row_hits.snap_write(w);
+        w.put_u64(self.activations);
+        w.put_u64(self.bytes);
+        w.put_u64(self.serviced);
+        w.put_u64(self.read_latency_sum);
+        w.put_u64(self.reads_serviced);
+        w.put_seq(self.source_bytes.iter(), |w, (&src, &bytes)| {
+            src.snap_write(w);
+            w.put_u64(bytes);
+        });
+    }
+
+    /// Decodes counters written by [`ChannelStats::snap_write`].
+    pub fn snap_read(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            row_hits: Ratio::snap_read(r)?,
+            activations: r.get_u64()?,
+            bytes: r.get_u64()?,
+            serviced: r.get_u64()?,
+            read_latency_sum: r.get_u64()?,
+            reads_serviced: r.get_u64()?,
+            source_bytes: r
+                .get_seq(9, |r| Ok((TrafficSource::snap_read(r)?, r.get_u64()?)))?
+                .into_iter()
+                .collect(),
+        })
     }
 }
 
@@ -310,6 +341,75 @@ impl DramChannel {
     /// True when no request is queued or in flight.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty() && self.in_service.is_empty()
+    }
+}
+
+impl emerald_common::snap::Snapshot for DramChannel {
+    /// Serializes bank timing, the scheduling queue (in exact order —
+    /// `tick` uses `swap_remove`, so the physical order is semantic
+    /// state), the in-service slab, and statistics. The scheduler box is
+    /// not serialized: FR-FCFS is stateless and DASH state lives in the
+    /// shared handle snapshotted once at the memory-system level.
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_seq(self.banks.iter(), |w, b| {
+            w.put_opt(&b.open_row, |w, &row| w.put_u64(row));
+            w.put_u64(b.ready_at);
+        });
+        w.put_seq(self.queue.iter(), |w, q| {
+            q.req.snap_write(w);
+            w.put_usize(q.loc.channel);
+            w.put_usize(q.loc.rank);
+            w.put_usize(q.loc.bank);
+            w.put_u64(q.loc.row);
+            w.put_u64(q.loc.col);
+            w.put_u64(q.arrived);
+        });
+        w.put_u64(self.bus_free_at);
+        w.put_seq(self.in_service.iter(), |w, (done, req)| {
+            w.put_u64(*done);
+            req.snap_write(w);
+        });
+        self.stats.snap_write(w);
+    }
+}
+
+impl emerald_common::snap::Restore for DramChannel {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let banks = r.get_seq(10, |r| {
+            Ok(BankState {
+                open_row: r.get_opt(|r| r.get_u64())?,
+                ready_at: r.get_u64()?,
+            })
+        })?;
+        if banks.len() != self.cfg.total_banks() {
+            return Err(SnapError::BadValue {
+                what: "dram bank count mismatch",
+            });
+        }
+        let queue = r.get_seq(40, |r| {
+            Ok(QueuedReq {
+                req: MemRequest::snap_read(r)?,
+                loc: DramLocation {
+                    channel: r.get_usize()?,
+                    rank: r.get_usize()?,
+                    bank: r.get_usize()?,
+                    row: r.get_u64()?,
+                    col: r.get_u64()?,
+                },
+                arrived: r.get_u64()?,
+            })
+        })?;
+        if queue.len() > self.cfg.queue_cap {
+            return Err(SnapError::BadValue {
+                what: "dram queue exceeds configured capacity",
+            });
+        }
+        self.banks = banks;
+        self.queue = queue;
+        self.bus_free_at = r.get_u64()?;
+        self.in_service = r.get_seq(41, |r| Ok((r.get_u64()?, MemRequest::snap_read(r)?)))?;
+        self.stats = ChannelStats::snap_read(r)?;
+        Ok(())
     }
 }
 
@@ -514,6 +614,58 @@ mod tests {
             None,
             "idle FR-FCFS channel is fully passive"
         );
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_mid_burst_identically() {
+        use emerald_common::snap::{Restore, SnapReader, SnapWriter, Snapshot};
+        let (mut ch, map) = channel();
+        // Mix of row hits and a conflict so banks/queue/in-service are all
+        // populated mid-flight.
+        for i in 0..6u64 {
+            ch.enqueue(req(i, i * 128), map.decode(i * 128), 0).unwrap();
+        }
+        ch.enqueue(req(99, 8 * 32 * 128), map.decode(8 * 32 * 128), 0)
+            .unwrap();
+        for c in 0..10 {
+            ch.tick(c);
+            ch.pop_finished(c);
+        }
+
+        let mut w = SnapWriter::new();
+        Snapshot::snapshot(&ch, &mut w);
+        let enc = w.into_bytes();
+
+        let (mut twin, _) = channel();
+        let mut r = SnapReader::new(&enc);
+        Restore::restore(&mut twin, &mut r).unwrap();
+        r.finish().unwrap();
+
+        // Both channels must now produce byte-identical futures.
+        let (resp_a, end_a) = run_until_idle(&mut ch, 10);
+        let (resp_b, end_b) = run_until_idle(&mut twin, 10);
+        assert_eq!(resp_a, resp_b);
+        assert_eq!(end_a, end_b);
+        assert_eq!(ch.stats().serviced, twin.stats().serviced);
+        assert_eq!(ch.stats().activations, twin.stats().activations);
+        assert_eq!(ch.stats().row_hits.num, twin.stats().row_hits.num);
+        assert_eq!(ch.stats().source_bytes, twin.stats().source_bytes);
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_wrong_geometry() {
+        use emerald_common::snap::{Restore, SnapReader, SnapWriter, Snapshot};
+        let (ch, _) = channel();
+        let mut w = SnapWriter::new();
+        Snapshot::snapshot(&ch, &mut w);
+        let enc = w.into_bytes();
+        let half_banks = DramConfig {
+            banks: 4,
+            ..DramConfig::lpddr3_1333()
+        };
+        let mut other = DramChannel::new(half_banks, Box::new(FrFcfs::new()));
+        let mut r = SnapReader::new(&enc);
+        assert!(Restore::restore(&mut other, &mut r).is_err());
     }
 
     #[test]

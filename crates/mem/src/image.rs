@@ -6,6 +6,7 @@
 //! executor, display controller and CPU model all read and write directly,
 //! while the timing half replays the same addresses through caches and DRAM.
 
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::types::Addr;
 use std::sync::{Arc, RwLock, RwLockReadGuard};
 
@@ -135,6 +136,54 @@ impl MemImage {
     }
 }
 
+impl emerald_common::snap::Snapshot for MemImage {
+    /// Serializes the allocator cursor and the allocated byte range
+    /// `[0, next)`. Bytes beyond `next` are never handed out by the bump
+    /// allocator and stay zero in any run, so they are omitted; restore
+    /// re-zeroes the target's own allocated tail where the snapshot's
+    /// coverage ends.
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_usize(self.data.len());
+        w.put_u64(self.next);
+        w.put_bytes(&self.data[..self.next as usize]);
+    }
+}
+
+impl emerald_common::snap::Restore for MemImage {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let capacity = r.get_usize()?;
+        if capacity != self.data.len() {
+            return Err(SnapError::BadValue {
+                what: "memory image capacity mismatch",
+            });
+        }
+        let next = r.get_u64()?;
+        if next as usize > self.data.len() {
+            return Err(SnapError::BadValue {
+                what: "memory image allocator cursor beyond capacity",
+            });
+        }
+        let bytes = r.get_bytes()?;
+        if bytes.len() != next as usize {
+            return Err(SnapError::BadValue {
+                what: "memory image byte count disagrees with cursor",
+            });
+        }
+        // Bytes past the bump cursor are zero in any image (the
+        // allocator never hands them out), so only the tail this image
+        // had already allocated needs re-zeroing — zeroing to capacity
+        // would touch every page of a multi-hundred-MiB image and
+        // dominate the restore.
+        let dirty = self.next as usize;
+        if dirty > bytes.len() {
+            self.data[bytes.len()..dirty].fill(0);
+        }
+        self.data[..bytes.len()].copy_from_slice(bytes);
+        self.next = next;
+        Ok(())
+    }
+}
+
 /// Shared handle to a [`MemImage`], cloned by every component that needs
 /// functional memory access.
 ///
@@ -217,9 +266,22 @@ impl SharedMem {
     }
 }
 
+impl emerald_common::snap::Snapshot for SharedMem {
+    fn snapshot(&self, w: &mut SnapWriter) {
+        self.read(|m| m.snapshot(w));
+    }
+}
+
+impl emerald_common::snap::Restore for SharedMem {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.write(|m| m.restore(r))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use emerald_common::snap::{Restore, Snapshot};
 
     #[test]
     fn alloc_respects_alignment() {
@@ -283,6 +345,39 @@ mod tests {
     fn alloc_exhaustion_panics() {
         let mut m = MemImage::new(512);
         m.alloc(1024, 4);
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_contents_and_allocator() {
+        let mut a = MemImage::new(1024);
+        let base = a.alloc(64, 16);
+        a.write_u32(base, 0xDEAD_BEEF);
+        let mut w = SnapWriter::new();
+        a.snapshot(&mut w);
+        let enc = w.into_bytes();
+
+        let mut b = MemImage::new(1024);
+        // Stale dirt in a region the target had allocated but the
+        // snapshot does not cover — must be re-zeroed on restore.
+        let dirt = b.alloc(600, 16) + 500;
+        b.write_u32(dirt, 7);
+        let mut r = SnapReader::new(&enc);
+        b.restore(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(b.read_u32(base), 0xDEAD_BEEF);
+        assert_eq!(b.allocated(), a.allocated());
+        assert_eq!(
+            b.read_u32(dirt),
+            0,
+            "allocated tail past the snapshot is zeroed"
+        );
+        // The restored allocator reproduces the straight run's addresses.
+        assert_eq!(a.alloc(8, 8), b.alloc(8, 8));
+
+        // Restoring into a different-capacity image is a typed error.
+        let mut c = MemImage::new(512);
+        let mut r = SnapReader::new(&enc);
+        assert!(matches!(c.restore(&mut r), Err(SnapError::BadValue { .. })));
     }
 
     #[test]

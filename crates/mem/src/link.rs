@@ -5,6 +5,7 @@
 //! — the abstraction level of gem5's classic (non-Ruby) interconnect, which
 //! the paper deliberately chooses for simulation speed (§2).
 
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::types::Cycle;
 use std::collections::VecDeque;
 
@@ -84,6 +85,36 @@ impl<T> Link<T> {
     pub fn latency(&self) -> Cycle {
         self.latency
     }
+
+    /// Serializes the link's counters. Checkpoints are taken at drained
+    /// boundaries, so the payload queue must be empty — only the issue
+    /// window and accept/reject accounting carry across.
+    ///
+    /// # Panics
+    ///
+    /// Panics if items are still in flight (a checkpoint-placement bug,
+    /// not a data error).
+    pub fn snapshot_drained(&self, w: &mut SnapWriter) {
+        assert!(
+            self.in_flight.is_empty(),
+            "link must be drained at a checkpoint"
+        );
+        w.put_u64(self.issued_at);
+        w.put_usize(self.issued_count);
+        w.put_u64(self.accepted);
+        w.put_u64(self.rejected);
+    }
+
+    /// Restores counters written by [`Link::snapshot_drained`] and clears
+    /// any in-flight payload.
+    pub fn restore_drained(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.issued_at = r.get_u64()?;
+        self.issued_count = r.get_usize()?;
+        self.accepted = r.get_u64()?;
+        self.rejected = r.get_u64()?;
+        self.in_flight.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +149,27 @@ mod tests {
         assert!(l.push(0, 2).is_ok());
         assert_eq!(l.push(1, 3), Err(3));
         assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn drained_snapshot_round_trips_counters() {
+        let mut l = Link::new(5, 1, 8);
+        l.push(10, 1u32).unwrap();
+        assert_eq!(l.push(10, 2), Err(2));
+        assert_eq!(l.pop(15), Some(1));
+        let mut w = SnapWriter::new();
+        l.snapshot_drained(&mut w);
+        let enc = w.into_bytes();
+
+        let mut fresh = Link::new(5, 1, 8);
+        let mut r = SnapReader::new(&enc);
+        fresh.restore_drained(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(fresh.accepted, 1);
+        assert_eq!(fresh.rejected, 1);
+        // The restored link keeps enforcing bandwidth from the next cycle.
+        assert!(fresh.push(16, 3).is_ok());
+        assert_eq!(fresh.push(16, 4), Err(4));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Memory requests and responses exchanged between hierarchy levels.
 
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::types::{AccessKind, Addr, Cycle, TrafficSource};
 
 /// Globally unique request identifier.
@@ -57,6 +58,52 @@ impl MemRequest {
     pub fn needs_response(&self) -> bool {
         self.kind == AccessKind::Read
     }
+
+    /// Encodes every field for a snapshot.
+    pub fn snap_write(&self, w: &mut SnapWriter) {
+        w.put_u64(self.id);
+        w.put_u64(self.addr);
+        w.put_u32(self.bytes);
+        self.kind.snap_write(w);
+        self.source.snap_write(w);
+        w.put_u64(self.issued);
+    }
+
+    /// Decodes a request written by [`MemRequest::snap_write`].
+    pub fn snap_read(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            id: r.get_u64()?,
+            addr: r.get_u64()?,
+            bytes: r.get_u32()?,
+            kind: AccessKind::snap_read(r)?,
+            source: TrafficSource::snap_read(r)?,
+            issued: r.get_u64()?,
+        })
+    }
+}
+
+impl MemResponse {
+    /// Encodes every field for a snapshot.
+    pub fn snap_write(&self, w: &mut SnapWriter) {
+        w.put_u64(self.id);
+        w.put_u64(self.addr);
+        w.put_u32(self.bytes);
+        self.kind.snap_write(w);
+        self.source.snap_write(w);
+        w.put_u64(self.finished);
+    }
+
+    /// Decodes a response written by [`MemResponse::snap_write`].
+    pub fn snap_read(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            id: r.get_u64()?,
+            addr: r.get_u64()?,
+            bytes: r.get_u32()?,
+            kind: AccessKind::snap_read(r)?,
+            source: TrafficSource::snap_read(r)?,
+            finished: r.get_u64()?,
+        })
+    }
 }
 
 /// Monotonic generator for [`ReqId`]s.
@@ -76,6 +123,19 @@ impl ReqIdGen {
         let id = self.next;
         self.next += 1;
         id
+    }
+}
+
+impl emerald_common::snap::Snapshot for ReqIdGen {
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_u64(self.next);
+    }
+}
+
+impl emerald_common::snap::Restore for ReqIdGen {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.next = r.get_u64()?;
+        Ok(())
     }
 }
 

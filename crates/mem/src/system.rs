@@ -15,6 +15,7 @@ use crate::mapping::AddressMapping;
 use crate::req::{MemRequest, MemResponse};
 use crate::sched::FrFcfs;
 use emerald_common::event::NextEvent;
+use emerald_common::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use emerald_common::types::{Cycle, TrafficSource};
 use emerald_obs::{Registry, Timeline};
 
@@ -419,6 +420,64 @@ impl MemorySystem {
     }
 }
 
+impl emerald_common::snap::Snapshot for MemorySystem {
+    /// Serializes every channel (each in its own section), the DASH
+    /// shared state once, any bandwidth probes, and the request trace.
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_usize(self.channels.len());
+        for ch in &self.channels {
+            w.section(1, |w| Snapshot::snapshot(ch, w));
+        }
+        w.put_opt(&self.dash, |w, d| Snapshot::snapshot(d, w));
+        w.put_opt(&self.probes, |w, p| {
+            for class in SourceClass::ALL {
+                p.probe(class).snap_write(w);
+            }
+        });
+        w.put_opt(&self.trace, |w, t| {
+            w.put_seq(t.iter(), |w, (cycle, req)| {
+                w.put_u64(*cycle);
+                req.snap_write(w);
+            });
+        });
+    }
+}
+
+impl emerald_common::snap::Restore for MemorySystem {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_usize()?;
+        if n != self.channels.len() {
+            return Err(SnapError::BadValue {
+                what: "memory system channel count mismatch",
+            });
+        }
+        for ch in &mut self.channels {
+            r.section(1, |r| Restore::restore(ch, r))?;
+        }
+        let had_dash = r.get_bool()?;
+        match (&mut self.dash, had_dash) {
+            (Some(d), true) => Restore::restore(d, r)?,
+            (None, false) => {}
+            _ => {
+                return Err(SnapError::BadValue {
+                    what: "dash scheduler presence mismatch",
+                })
+            }
+        }
+        self.probes = r.get_opt(|r| {
+            Ok(Probes {
+                cpu: Timeline::snap_read(r)?,
+                gpu: Timeline::snap_read(r)?,
+                display: Timeline::snap_read(r)?,
+                other: Timeline::snap_read(r)?,
+            })
+        })?;
+        self.trace =
+            r.get_opt(|r| r.get_seq(33, |r| Ok((r.get_u64()?, MemRequest::snap_read(r)?))))?;
+        Ok(())
+    }
+}
+
 impl NextEvent for MemorySystem {
     /// Earliest event across all channels: the next in-service completion
     /// or scheduler rollover, or `now + 1` while any scheduling queue is
@@ -623,6 +682,97 @@ mod tests {
             None,
             "idle FR-FCFS system is fully passive"
         );
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_dash_system_identically() {
+        let cfg = MemorySystemConfig::dash(
+            2,
+            DramConfig::lpddr3_1333(),
+            DashConfig::paper(Clustering::CpuOnly),
+        );
+        let mut ms = MemorySystem::new(cfg.clone());
+        ms.enable_probes(64);
+        ms.enable_trace();
+        let mut id = 0;
+        for i in 0..24u64 {
+            ms.enqueue(read(id, i * 128, TrafficSource::Gpu), 0).ok();
+            id += 1;
+        }
+        for i in 0..4u64 {
+            ms.enqueue(read(id, (1 << 20) + i * 4096, TrafficSource::Cpu(0)), 0)
+                .unwrap();
+            id += 1;
+        }
+        let mut resp_a = Vec::new();
+        for c in 0..50 {
+            ms.tick(c);
+            resp_a.extend(ms.drain_finished(c));
+        }
+
+        let mut w = SnapWriter::new();
+        Snapshot::snapshot(&ms, &mut w);
+        let enc = w.into_bytes();
+
+        let mut twin = MemorySystem::new(cfg);
+        twin.enable_probes(64); // same window; contents come from the snapshot
+        let mut r = SnapReader::new(&enc);
+        Restore::restore(&mut twin, &mut r).unwrap();
+        r.finish().unwrap();
+
+        // Both systems must drain identically from here on.
+        let mut resp_b = Vec::new();
+        let mut now = 50;
+        while !ms.is_idle() || !twin.is_idle() {
+            ms.tick(now);
+            twin.tick(now);
+            resp_a.extend(ms.drain_finished(now));
+            resp_b.extend(twin.drain_finished(now));
+            now += 1;
+            assert!(now < 1_000_000);
+        }
+        let tail_a = &resp_a[resp_a.len() - resp_b.len()..];
+        assert_eq!(tail_a, &resp_b[..]);
+        assert_eq!(ms.stats().serviced, twin.stats().serviced);
+        assert_eq!(
+            ms.probe_total_bytes(SourceClass::Gpu),
+            twin.probe_total_bytes(SourceClass::Gpu)
+        );
+        assert_eq!(ms.take_trace(), twin.take_trace());
+        // Every single-byte truncation of the raw section stream is a
+        // typed error, never a panic.
+        for cut in 0..enc.len() {
+            let mut fresh = MemorySystem::new(MemorySystemConfig::dash(
+                2,
+                DramConfig::lpddr3_1333(),
+                DashConfig::paper(Clustering::CpuOnly),
+            ));
+            let mut r = SnapReader::new(&enc[..cut]);
+            assert!(
+                Restore::restore(&mut fresh, &mut r).is_err() || r.finish().is_err(),
+                "truncation at {cut} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn fr_fcfs_snapshot_rejects_dash_restore_target() {
+        let mut w = SnapWriter::new();
+        let dash = MemorySystem::new(MemorySystemConfig::dash(
+            1,
+            DramConfig::lpddr3_1333(),
+            DashConfig::paper(Clustering::CpuOnly),
+        ));
+        Snapshot::snapshot(&dash, &mut w);
+        let enc = w.into_bytes();
+        let mut bas = MemorySystem::new(MemorySystemConfig::baseline(1, DramConfig::lpddr3_1333()));
+        let mut r = SnapReader::new(&enc);
+        assert!(matches!(
+            Restore::restore(&mut bas, &mut r),
+            Err(SnapError::BadValue {
+                what: "dash scheduler presence mismatch"
+            })
+        ));
     }
 
     #[test]

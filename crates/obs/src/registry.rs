@@ -7,6 +7,7 @@
 //! resetting live counters), and machine-readable JSON/CSV dumps at end of
 //! run. Everything is hand-rolled: the offline build has no serde.
 
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::stats::{Histogram, Ratio, Summary};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -293,6 +294,88 @@ impl Registry {
     }
 }
 
+fn write_value(w: &mut SnapWriter, v: &Value) {
+    match v {
+        Value::Counter(c) => {
+            w.put_u8(0);
+            w.put_u64(*c);
+        }
+        Value::Gauge(g) => {
+            w.put_u8(1);
+            w.put_u64(*g);
+        }
+        Value::Ratio(r) => {
+            w.put_u8(2);
+            r.snap_write(w);
+        }
+        Value::Summary(s) => {
+            w.put_u8(3);
+            w.put_u64(s.count());
+            w.put_f64(s.sum());
+            w.put_f64(s.min());
+            w.put_f64(s.max());
+        }
+        Value::Histogram(h) => {
+            w.put_u8(4);
+            w.put_u64(h.bucket_width());
+            w.put_seq(h.counts().iter(), |w, &c| w.put_u64(c));
+        }
+    }
+}
+
+fn read_value(r: &mut SnapReader<'_>) -> Result<Value, SnapError> {
+    Ok(match r.get_u8()? {
+        0 => Value::Counter(r.get_u64()?),
+        1 => Value::Gauge(r.get_u64()?),
+        2 => Value::Ratio(Ratio::snap_read(r)?),
+        3 => {
+            let count = r.get_u64()?;
+            let sum = r.get_f64()?;
+            let min = r.get_f64()?;
+            let max = r.get_f64()?;
+            Value::Summary(Summary::from_parts(count, sum, min, max))
+        }
+        4 => {
+            let width = r.get_u64()?;
+            let counts = r.get_seq(8, |r| r.get_u64())?;
+            if width == 0 || counts.is_empty() {
+                return Err(SnapError::BadValue {
+                    what: "histogram geometry",
+                });
+            }
+            Value::Histogram(Histogram::from_counts(width, counts))
+        }
+        _ => {
+            return Err(SnapError::BadValue {
+                what: "registry value tag",
+            })
+        }
+    })
+}
+
+impl emerald_common::snap::Snapshot for Registry {
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_seq(self.entries.iter(), |w, (path, value)| {
+            w.put_str(path);
+            write_value(w, value);
+        });
+    }
+}
+
+impl emerald_common::snap::Restore for Registry {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_len(1)?;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let path = r.get_str()?.to_string();
+            let value = read_value(r)?;
+            entries.insert(path, value);
+        }
+        self.entries = entries;
+        Ok(())
+    }
+}
+
 #[derive(Default)]
 struct Node<'a> {
     value: Option<&'a Value>,
@@ -500,6 +583,38 @@ mod tests {
         assert!(csv.contains("h,histogram,bucket_overflow,0"));
         assert!(csv.contains("r,ratio,num,1"));
         assert!(csv.contains("r,ratio,value,0.5"));
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips_every_value_kind() {
+        use emerald_common::snap::{Restore as _, SnapReader, SnapWriter};
+        let mut reg = Registry::new();
+        reg.set_counter("c", 42);
+        reg.set_gauge("g", 7);
+        reg.set_ratio("r", Ratio { num: 3, den: 9 });
+        let mut s = Summary::new();
+        s.add(1.5);
+        s.add(-2.0);
+        reg.set_summary("s", s);
+        let mut h = Histogram::new(10, 3);
+        h.record(5);
+        h.record(99);
+        reg.set_histogram("h", h);
+
+        let mut w = SnapWriter::new();
+        // Fully qualified: `Registry::snapshot()` (the delta-window API)
+        // shadows the trait method.
+        emerald_common::snap::Snapshot::snapshot(&reg, &mut w);
+        let enc = w.into_bytes();
+
+        let mut restored = Registry::new();
+        restored.set_counter("stale", 1); // must be replaced, not merged
+        let mut rd = SnapReader::new(&enc);
+        restored.restore(&mut rd).unwrap();
+        rd.finish().unwrap();
+        assert!(restored.get("stale").is_none());
+        assert_eq!(restored.to_json(), reg.to_json());
+        assert_eq!(restored.to_csv(), reg.to_csv());
     }
 
     #[test]

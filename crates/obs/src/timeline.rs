@@ -10,6 +10,7 @@
 //! probe plumbing.
 
 use crate::registry::{Registry, Snapshot};
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::types::Cycle;
 use std::collections::BTreeMap;
 
@@ -75,6 +76,36 @@ impl Timeline {
     /// Window width in cycles.
     pub fn window(&self) -> Cycle {
         self.window
+    }
+
+    /// Encodes the full timeline state (including the open window) for a
+    /// snapshot.
+    pub fn snap_write(&self, w: &mut SnapWriter) {
+        w.put_u64(self.window);
+        w.put_u64(self.cur_window);
+        w.put_u64(self.cur_amount);
+        w.put_u64(self.total);
+        w.put_seq(self.samples.iter(), |w, &(c, a)| {
+            w.put_u64(c);
+            w.put_u64(a);
+        });
+    }
+
+    /// Decodes a timeline written by [`Timeline::snap_write`].
+    pub fn snap_read(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let window = r.get_u64()?;
+        if window == 0 {
+            return Err(SnapError::BadValue {
+                what: "timeline window",
+            });
+        }
+        Ok(Self {
+            window,
+            cur_window: r.get_u64()?,
+            cur_amount: r.get_u64()?,
+            total: r.get_u64()?,
+            samples: r.get_seq(16, |r| Ok((r.get_u64()?, r.get_u64()?)))?,
+        })
     }
 }
 
@@ -163,6 +194,25 @@ mod tests {
         assert_eq!(t.total(), 288);
         let s = t.finish();
         assert_eq!(s, vec![(0, 128), (100, 128), (200, 0), (300, 0), (400, 32)]);
+    }
+
+    #[test]
+    fn timeline_snapshot_round_trip_preserves_open_window() {
+        let mut t = Timeline::new(100);
+        t.record(10, 64);
+        t.record(150, 128);
+        t.record(160, 8);
+        let mut w = SnapWriter::new();
+        t.snap_write(&mut w);
+        let enc = w.into_bytes();
+        let mut r = SnapReader::new(&enc);
+        let mut t2 = Timeline::snap_read(&mut r).unwrap();
+        r.finish().unwrap();
+        // Both must evolve identically after the restore point.
+        t.record(420, 32);
+        t2.record(420, 32);
+        assert_eq!(t.total(), t2.total());
+        assert_eq!(t.finish(), t2.finish());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! constructor.
 
 use crate::registry::escape_json;
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::types::Cycle;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -263,6 +264,95 @@ pub fn take_dropped() -> u64 {
     })
 }
 
+/// Interns a string so restored trace events can carry `&'static str`
+/// names. A global dedup pool bounds the leak to one copy per distinct
+/// string ever restored.
+fn intern(s: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut pool = POOL.lock().unwrap();
+    if let Some(&existing) = pool.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+fn cat_from_bit(bit: u32) -> Option<TraceCat> {
+    TraceCat::all().into_iter().find(|c| c.bit() == bit)
+}
+
+/// Serializes the current thread's ring buffer — events in **record
+/// order** (oldest first, even after the ring has wrapped), capacity, and
+/// the dropped-event counter. The enable mask is host configuration and is
+/// not captured.
+pub fn snapshot_ring(w: &mut SnapWriter) {
+    RING.with(|r| {
+        let ring = r.borrow();
+        w.put_usize(ring.capacity);
+        w.put_u64(ring.dropped);
+        // VecDeque iteration is logical (front-to-back) order, not slab
+        // order: a wrapped ring must restore with its oldest event first,
+        // not whichever event happens to sit at slab index 0.
+        w.put_seq(ring.events.iter(), |w, ev| {
+            w.put_u32(ev.cat.bit());
+            w.put_str(ev.name);
+            w.put_u32(ev.track);
+            w.put_u64(ev.ts);
+            w.put_opt(&ev.dur, |w, &d| w.put_u64(d));
+            w.put_seq(ev.args.iter(), |w, &(k, v)| {
+                w.put_str(k);
+                w.put_u64(v);
+            });
+        });
+    });
+}
+
+/// Restores the current thread's ring buffer from
+/// [`snapshot_ring`] bytes, replacing its contents. Event order is the
+/// recorded order; names are re-interned.
+pub fn restore_ring(r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+    let capacity = r.get_usize()?;
+    let dropped = r.get_u64()?;
+    let n = r.get_len(1)?;
+    let mut events = VecDeque::with_capacity(n.min(capacity));
+    for _ in 0..n {
+        let cat = cat_from_bit(r.get_u32()?).ok_or(SnapError::BadValue {
+            what: "trace category bit",
+        })?;
+        let name = intern(r.get_str()?);
+        let track = r.get_u32()?;
+        let ts = r.get_u64()?;
+        let dur = r.get_opt(|r| r.get_u64())?;
+        let args = r.get_seq(9, |r| {
+            let k = intern(r.get_str()?);
+            Ok((k, r.get_u64()?))
+        })?;
+        events.push_back(TraceEvent {
+            cat,
+            name,
+            track,
+            ts,
+            dur,
+            args,
+        });
+    }
+    if events.len() > capacity {
+        return Err(SnapError::BadValue {
+            what: "trace ring holds more events than its capacity",
+        });
+    }
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        ring.events = events;
+        ring.capacity = capacity;
+        ring.dropped = dropped;
+    });
+    Ok(())
+}
+
 /// Serializes events to Chrome trace-event JSON (the `{"traceEvents": []}`
 /// object form). Categories become processes (via `process_name` metadata),
 /// tracks become thread ids, spans use phase `"X"`, instants phase `"i"`.
@@ -428,6 +518,60 @@ mod tests {
         }
         let ts: Vec<u64> = drain().iter().map(|e| e.ts).collect();
         assert_eq!(ts, vec![102, 103, 104, 105]);
+        reset();
+    }
+
+    #[test]
+    fn restored_wrapped_ring_preserves_event_order() {
+        reset();
+        set_enabled(TraceCat::ALL);
+        set_capacity(4);
+        // Wrap the ring almost twice: survivors are 7..=10, in emit order.
+        for i in 0..11u64 {
+            instant_args(TraceCat::Warp, "w", 0, i, &[("lane", i)]);
+        }
+        let mut w = SnapWriter::new();
+        snapshot_ring(&mut w);
+        let enc = w.into_bytes();
+        let reference = drain();
+        assert_eq!(
+            reference.iter().map(|e| e.ts).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10]
+        );
+
+        let mut r = SnapReader::new(&enc);
+        restore_ring(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(dropped(), 7, "drop counter restores");
+        let restored = drain();
+        assert_eq!(
+            restored, reference,
+            "wrap-around order must survive restore"
+        );
+
+        // The restored ring still behaves as a capacity-4 ring.
+        for i in 0..6u64 {
+            instant(TraceCat::Warp, "w", 0, 100 + i);
+        }
+        let ts: Vec<u64> = drain().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![102, 103, 104, 105]);
+        reset();
+    }
+
+    #[test]
+    fn truncated_ring_snapshot_is_a_typed_error() {
+        reset();
+        set_enabled(TraceCat::ALL);
+        instant(TraceCat::Frame, "f", 0, 1);
+        let mut w = SnapWriter::new();
+        snapshot_ring(&mut w);
+        let enc = w.into_bytes();
+        drain();
+        for cut in 0..enc.len() {
+            let mut r = SnapReader::new(&enc[..cut]);
+            let res = restore_ring(&mut r).and_then(|()| r.finish());
+            assert!(res.is_err(), "{cut}-byte prefix accepted");
+        }
         reset();
     }
 

@@ -7,6 +7,7 @@
 //! caches (Table 5) and a bounded number of outstanding misses.
 
 use emerald_common::rng::Xorshift64;
+use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::types::{AccessKind, Addr, Cycle, TrafficSource};
 use emerald_mem::cache::{Access, Cache, CacheConfig, WritePolicy};
 use emerald_mem::image::SharedMem;
@@ -227,6 +228,15 @@ impl CpuCoreModel {
             out: Vec::new(),
             poll_counter: 0,
         }
+    }
+
+    /// Test-only hook for the snapshot conformance canary: resets this
+    /// core's RNG to a fresh stream, simulating a restore path that
+    /// forgot to carry the stream state over. Never called outside the
+    /// conformance harness.
+    #[doc(hidden)]
+    pub fn debug_reset_rng(&mut self) {
+        self.rng = Xorshift64::new(self.id as u64 ^ 0xC0DE);
     }
 
     /// Statistics so far.
@@ -599,6 +609,66 @@ impl CpuCoreModel {
             }
             _ => debug_assert!(false, "skipped across an active phase"),
         }
+    }
+}
+
+impl emerald_common::snap::Snapshot for CpuCoreModel {
+    /// Serializes the script position, streaming cursor, private caches,
+    /// outstanding-miss count, RNG stream, fence-poll counter, statistics
+    /// and any requests still waiting out memory-system backpressure. The
+    /// workload script itself is configuration and is reconstructed by
+    /// the restore target.
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_seq(self.out.iter(), |w, q| q.snap_write(w));
+        w.put_usize(self.phase_idx);
+        w.put_u64(self.instr_in_phase);
+        w.put_u64(self.stream_pos);
+        w.put_u64(self.arena);
+        w.section(1, |w| self.l1.snapshot(w));
+        w.section(2, |w| self.l2.snapshot(w));
+        w.put_u32(self.outstanding);
+        w.put_bool(self.issued_draw_this_frame);
+        w.put_bool(self.at_frame_end);
+        w.put_u64(self.rng.state());
+        w.put_u32(self.poll_counter);
+        w.put_u64(self.stats.instrs);
+        w.put_u64(self.stats.mem_requests);
+        w.put_u64(self.stats.stall_cycles);
+        w.put_u64(self.stats.frames);
+    }
+}
+
+impl emerald_common::snap::Restore for CpuCoreModel {
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.out = r.get_seq(30, MemRequest::snap_read)?;
+        self.phase_idx = r.get_usize()?;
+        if self.phase_idx > self.workload.phases.len() {
+            return Err(SnapError::BadValue {
+                what: "CPU phase index beyond workload script",
+            });
+        }
+        self.instr_in_phase = r.get_u64()?;
+        self.stream_pos = r.get_u64()?;
+        let arena = r.get_u64()?;
+        if arena != self.arena {
+            return Err(SnapError::BadValue {
+                what: "CPU arena address mismatch",
+            });
+        }
+        r.section(1, |r| self.l1.restore(r))?;
+        r.section(2, |r| self.l2.restore(r))?;
+        self.outstanding = r.get_u32()?;
+        self.issued_draw_this_frame = r.get_bool()?;
+        self.at_frame_end = r.get_bool()?;
+        self.rng = Xorshift64::from_state(r.get_u64()?);
+        self.poll_counter = r.get_u32()?;
+        self.stats = CpuStats {
+            instrs: r.get_u64()?,
+            mem_requests: r.get_u64()?,
+            stall_cycles: r.get_u64()?,
+            frames: r.get_u64()?,
+        };
+        Ok(())
     }
 }
 

@@ -3,6 +3,7 @@
 
 use crate::cpu::{CpuCoreModel, CpuEvent, CpuWorkload};
 use crate::display::DisplayController;
+use emerald_common::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use emerald_common::types::{AccessKind, Cycle, TrafficSource};
 use emerald_core::renderer::FrameStats;
 use emerald_core::state::{DrawCall, RenderTarget};
@@ -101,6 +102,95 @@ impl MemPort for SocPort<'_> {
     }
 }
 
+/// Where a frame's execution stands. [`Soc::run_frame`] historically kept
+/// this on its stack; it is externalized so a mid-frame checkpoint can
+/// serialize the frame's progress and a restored SoC can resume driving
+/// the same frame.
+#[derive(Debug, Clone)]
+struct FrameCursor {
+    frame_start: Cycle,
+    gpu_start: Cycle,
+    gpu_cycles: Cycle,
+    gpu_active: bool,
+    gpu_done: bool,
+    /// Batch-mode bookkeeping: last cycle each core has executed.
+    ran_until: Vec<Cycle>,
+    /// Undelivered core interactions parked at their exact cycles.
+    pending: Vec<Option<(Cycle, CpuEvent)>>,
+    /// Cycle each core's frame-end flag flipped (`Cycle::MAX` = not yet).
+    end_at: Vec<Cycle>,
+}
+
+impl FrameCursor {
+    fn new(now: Cycle, n_cpus: usize) -> Self {
+        Self {
+            frame_start: now,
+            gpu_start: now,
+            gpu_cycles: 0,
+            gpu_active: false,
+            gpu_done: false,
+            ran_until: vec![now; n_cpus],
+            pending: vec![None; n_cpus],
+            end_at: vec![Cycle::MAX; n_cpus],
+        }
+    }
+
+    fn snap_write(&self, w: &mut SnapWriter) {
+        w.put_u64(self.frame_start);
+        w.put_u64(self.gpu_start);
+        w.put_u64(self.gpu_cycles);
+        w.put_bool(self.gpu_active);
+        w.put_bool(self.gpu_done);
+        w.put_seq(self.ran_until.iter(), |w, &t| w.put_u64(t));
+        w.put_seq(self.pending.iter(), |w, p| {
+            w.put_opt(p, |w, &(cycle, ev)| {
+                w.put_u64(cycle);
+                w.put_u8(match ev {
+                    CpuEvent::None => 0,
+                    CpuEvent::IssueDraw => 1,
+                });
+            });
+        });
+        w.put_seq(self.end_at.iter(), |w, &t| w.put_u64(t));
+    }
+
+    fn snap_read(r: &mut SnapReader<'_>, n_cpus: usize) -> Result<Self, SnapError> {
+        let cur = Self {
+            frame_start: r.get_u64()?,
+            gpu_start: r.get_u64()?,
+            gpu_cycles: r.get_u64()?,
+            gpu_active: r.get_bool()?,
+            gpu_done: r.get_bool()?,
+            ran_until: r.get_seq(8, |r| r.get_u64())?,
+            pending: r.get_seq(1, |r| {
+                r.get_opt(|r| {
+                    let cycle = r.get_u64()?;
+                    let ev = match r.get_u8()? {
+                        0 => CpuEvent::None,
+                        1 => CpuEvent::IssueDraw,
+                        _ => {
+                            return Err(SnapError::BadValue {
+                                what: "CPU event tag",
+                            })
+                        }
+                    };
+                    Ok((cycle, ev))
+                })
+            })?,
+            end_at: r.get_seq(8, |r| r.get_u64())?,
+        };
+        if cur.ran_until.len() != n_cpus
+            || cur.pending.len() != n_cpus
+            || cur.end_at.len() != n_cpus
+        {
+            return Err(SnapError::BadValue {
+                what: "frame cursor CPU count mismatch",
+            });
+        }
+        Ok(cur)
+    }
+}
+
 /// The full SoC.
 #[derive(Debug)]
 pub struct Soc {
@@ -120,6 +210,9 @@ pub struct Soc {
     now: Cycle,
     expected_frags: u64,
     frames_rendered: u64,
+    /// A mid-frame checkpoint waiting for [`Soc::resume_frame`]; the bool
+    /// records whether the frame's draws were already submitted.
+    resume: Option<(FrameCursor, bool)>,
 }
 
 impl Soc {
@@ -150,6 +243,7 @@ impl Soc {
             now: 0,
             expected_frags: 0,
             frames_rendered: 0,
+            resume: None,
             cfg,
         }
     }
@@ -157,6 +251,26 @@ impl Soc {
     /// Current simulation time.
     pub fn now(&self) -> Cycle {
         self.now
+    }
+
+    /// The configuration this SoC was built from (the same value must be
+    /// passed to [`Soc::restore`] when reviving a checkpoint).
+    pub fn config(&self) -> &SocConfig {
+        &self.cfg
+    }
+
+    /// Frames completed so far. After a mid-frame restore this is the
+    /// index of the interrupted frame (it is only bumped at frame end),
+    /// so a driver replaying a scene knows which draw to resubmit.
+    pub fn frames_rendered(&self) -> u64 {
+        self.frames_rendered
+    }
+
+    /// Test-only hook for the snapshot conformance canary: see
+    /// [`CpuCoreModel::debug_reset_rng`].
+    #[doc(hidden)]
+    pub fn debug_reset_cpu_rng(&mut self, core: usize) {
+        self.cpus[core].debug_reset_rng();
     }
 
     /// Display statistics.
@@ -250,7 +364,24 @@ impl Soc {
     ///
     /// Panics if the frame exceeds `max_cycles`.
     pub fn run_frame(&mut self, draws: Vec<DrawCall>, max_cycles: Cycle) -> SocFrameRecord {
-        let frame_start = self.now;
+        self.run_frame_checkpoint(draws, max_cycles, None).0
+    }
+
+    /// [`Soc::run_frame`], optionally capturing a checkpoint at the first
+    /// commit boundary the frame loop visits at or after absolute cycle
+    /// `checkpoint_at`. A commit boundary is a loop entry where the
+    /// renderer is drained and no GPU responses are buffered — either
+    /// before draw submission or after GPU completion; mid-render cycles
+    /// hold non-serializable in-flight warp state and are skipped over.
+    /// Returns `None` when the frame finishes before reaching such a
+    /// boundary; the run itself is unaffected either way (the straight
+    /// execution continues past the capture point).
+    pub fn run_frame_checkpoint(
+        &mut self,
+        draws: Vec<DrawCall>,
+        max_cycles: Cycle,
+        checkpoint_at: Option<Cycle>,
+    ) -> (SocFrameRecord, Option<Vec<u8>>) {
         // Per-frame clear, as the app would issue (functionally instant;
         // real hardware fast-clears via metadata, which we do not model).
         self.rt.clear(&self.mem, [0.05, 0.05, 0.08, 1.0], 1.0);
@@ -258,27 +389,68 @@ impl Soc {
             c.begin_frame();
         }
         self.renderer.begin_frame();
+        let mut cur = FrameCursor::new(self.now, self.cpus.len());
         let mut draws = Some(draws);
-        let mut gpu_start = self.now;
-        let mut gpu_cycles = 0;
-        let mut gpu_active = false;
-        let mut gpu_done = false;
+        let snap = self.drive_frame(&mut cur, &mut draws, max_cycles, checkpoint_at);
+        (self.finish_frame(&cur), snap)
+    }
+
+    /// Continues the frame a restored checkpoint captured mid-flight. If
+    /// the checkpoint preceded draw submission, `draws` is submitted at
+    /// the driver's `IssueDraw` exactly as in the original run (the draw
+    /// must reference the same uploaded resources — re-uploading would
+    /// shift the allocator); if the draws were already rendered, the
+    /// argument is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no mid-frame checkpoint is pending (see
+    /// [`Soc::has_pending_frame`]) or if the frame exceeds `max_cycles`.
+    pub fn resume_frame(&mut self, draws: Vec<DrawCall>, max_cycles: Cycle) -> SocFrameRecord {
+        let (mut cur, submitted) = self
+            .resume
+            .take()
+            .expect("no mid-frame checkpoint to resume");
+        let mut draws = if submitted { None } else { Some(draws) };
+        self.drive_frame(&mut cur, &mut draws, max_cycles, None);
+        self.finish_frame(&cur)
+    }
+
+    /// True when this SoC was restored from a mid-frame checkpoint and
+    /// expects [`Soc::resume_frame`] before any new [`Soc::run_frame`].
+    pub fn has_pending_frame(&self) -> bool {
+        self.resume.is_some()
+    }
+
+    /// The frame loop, shared by [`Soc::run_frame`],
+    /// [`Soc::run_frame_checkpoint`] and [`Soc::resume_frame`].
+    fn drive_frame(
+        &mut self,
+        cur: &mut FrameCursor,
+        draws: &mut Option<Vec<DrawCall>>,
+        max_cycles: Cycle,
+        checkpoint_at: Option<Cycle>,
+    ) -> Option<Vec<u8>> {
+        let frame_start = cur.frame_start;
         let skip = self.cfg.gpu.event_skip;
         let cpu_batch = self.cfg.cpu_batch;
-        // Batch-mode bookkeeping. Cores may run *ahead* of the SoC clock
-        // inside windows where no non-CPU component can act: `ran_until`
-        // is the last cycle core `i` has executed, `pending` holds an
-        // undelivered interaction (its exact cycle plus the event; any
-        // issued requests wait in the core's output buffer until the
-        // clock arrives), and `end_at` is the cycle the core raised its
-        // frame-end flag — the frame barrier must observe the flip at
-        // that cycle, not when the flag was pre-applied by a batch.
-        let mut ran_until: Vec<Cycle> = vec![self.now; self.cpus.len()];
-        let mut pending: Vec<Option<(Cycle, CpuEvent)>> = vec![None; self.cpus.len()];
-        let mut end_at: Vec<Cycle> = vec![Cycle::MAX; self.cpus.len()];
+        let mut snap = None;
 
         let prof_loop = emerald_obs::prof::loop_enter();
         loop {
+            // Checkpoint capture sits at loop entry — the end-of-cycle
+            // commit point of the previous iteration — so a restored SoC
+            // re-enters the loop exactly where the straight run continued.
+            if let Some(at) = checkpoint_at {
+                if snap.is_none()
+                    && self.now >= at
+                    && self.gpu_resp.is_empty()
+                    && self.renderer.is_idle()
+                    && ((draws.is_some() && !cur.gpu_active) || (draws.is_none() && cur.gpu_done))
+                {
+                    snap = Some(self.encode_checkpoint(Some((cur, draws.is_none()))));
+                }
+            }
             emerald_obs::prof::tick();
             let mut clk = emerald_obs::prof::PhaseClock::start();
             self.now += 1;
@@ -309,18 +481,18 @@ impl Soc {
             // reaches its recorded cycle) or it is ticked per-cycle as in
             // the reference clocking.
             for i in 0..self.cpus.len() {
-                let ev = match pending[i] {
+                let ev = match cur.pending[i] {
                     Some((s, ev)) if s == now => {
-                        pending[i] = None;
+                        cur.pending[i] = None;
                         ev
                     }
-                    _ if cpu_batch && ran_until[i] >= now => CpuEvent::None,
+                    _ if cpu_batch && cur.ran_until[i] >= now => CpuEvent::None,
                     _ => {
                         let was_end = self.cpus[i].at_frame_end();
-                        let ev = self.cpus[i].tick(now, gpu_done, &mut self.ids);
-                        ran_until[i] = now;
+                        let ev = self.cpus[i].tick(now, cur.gpu_done, &mut self.ids);
+                        cur.ran_until[i] = now;
                         if !was_end && self.cpus[i].at_frame_end() {
-                            end_at[i] = now;
+                            cur.end_at[i] = now;
                         }
                         ev
                     }
@@ -330,14 +502,14 @@ impl Soc {
                         for d in ds {
                             self.renderer.draw(d);
                         }
-                        gpu_start = now;
-                        gpu_active = true;
+                        cur.gpu_start = now;
+                        cur.gpu_active = true;
                     }
                 }
                 // A core parked at a future cycle holds requests it issued
                 // *at that cycle*; draining them before the clock arrives
                 // would leak them into the memory system early.
-                if matches!(pending[i], Some((s, _)) if s > now) {
+                if matches!(cur.pending[i], Some((s, _)) if s > now) {
                     continue;
                 }
                 let mut blocked = false;
@@ -361,20 +533,20 @@ impl Soc {
                 self.renderer.cycle(now, &mut port);
             }
             clk.skip();
-            if gpu_active && !gpu_done && self.renderer.is_idle() {
-                gpu_done = true;
-                gpu_cycles = now - gpu_start;
+            if cur.gpu_active && !cur.gpu_done && self.renderer.is_idle() {
+                cur.gpu_done = true;
+                cur.gpu_cycles = now - cur.gpu_start;
             }
 
             // DASH deadline feedback.
-            self.dash_feedback(gpu_active && !gpu_done, gpu_start);
+            self.dash_feedback(cur.gpu_active && !cur.gpu_done, cur.gpu_start);
 
             // Skip-opportunity accounting: a cycle is skippable when no
             // modeled agent with cycle-accurate state has work in flight —
             // only CPU scripts tick, and those advance analytically.
             if emerald_obs::prof::enabled() {
                 // Skippable: the GPU has nothing in flight, the display
-                // engine has nothing pending, and no memory request is
+                // engine has nothing cur.pending, and no memory request is
                 // waiting on a scheduling decision. In-service DRAM
                 // accesses complete at precomputed cycles, so an
                 // event-driven scheduler could jump straight to the next
@@ -390,11 +562,11 @@ impl Soc {
             // pre-applied by a batch that ran ahead of the clock, so the
             // barrier compares against the recorded flip cycles instead.
             let cpus_done = if cpu_batch {
-                end_at.iter().all(|&t| t <= now)
+                cur.end_at.iter().all(|&t| t <= now)
             } else {
                 self.cpus.iter().all(|c| c.at_frame_end())
             };
-            if gpu_done && cpus_done {
+            if cur.gpu_done && cpus_done {
                 break;
             }
             if std::env::var_os("EMERALD_SOC_DEBUG").is_some()
@@ -403,8 +575,8 @@ impl Soc {
                 eprintln!(
                     "[soc dbg] t={} gpu_active={} gpu_done={} cpu_end={:?} rend: {}",
                     now - frame_start,
-                    gpu_active,
-                    gpu_done,
+                    cur.gpu_active,
+                    cur.gpu_done,
                     self.cpus
                         .iter()
                         .map(|c| c.at_frame_end())
@@ -423,16 +595,16 @@ impl Soc {
                 // contracts guarantee bit-for-bit no-op ticks), run every
                 // quiet core's script through it in bulk, then — skip mode
                 // only — jump the clock to the earliest cycle anything
-                // needs service. The window also freezes `gpu_done`: the
+                // needs service. The window also freezes `cur.gpu_done`: the
                 // renderer cannot finish inside a stretch where it cannot
                 // act, so batching with the current level is exact.
                 let horizon = frame_start + max_cycles;
                 let need_runway = skip
                     || self.cpus.iter().enumerate().any(|(i, c)| {
-                        pending[i].is_none()
+                        cur.pending[i].is_none()
                             && !c.has_pending_out()
                             && !c.at_frame_end()
-                            && ran_until[i] <= now
+                            && cur.ran_until[i] <= now
                     });
                 let w = if need_runway {
                     'window: {
@@ -470,7 +642,7 @@ impl Soc {
                 };
                 let draws_pending = draws.is_some();
                 if w > now + 1 {
-                    // While the frame's draws are undelivered, `gpu_done`
+                    // While the frame's draws are undelivered, `cur.gpu_done`
                     // can flip inside the window (draw submission at a
                     // parked IssueDraw, GPU completion after it), so an
                     // *unsatisfied* fence wait must not pre-burn polls
@@ -485,29 +657,30 @@ impl Soc {
                     let capable: Vec<bool> = self.cpus.iter().map(|c| c.may_issue_draw()).collect();
                     let mut fence_bound = w - 1;
                     for pass in 0..2usize {
-                        if pass == 1 && draws_pending && !gpu_done {
-                            for i in 0..self.cpus.len() {
-                                if !capable[i] || self.cpus[i].at_frame_end() {
+                        if pass == 1 && draws_pending && !cur.gpu_done {
+                            for (i, &cap) in capable.iter().enumerate() {
+                                if !cap || self.cpus[i].at_frame_end() {
                                     continue;
                                 }
-                                fence_bound = fence_bound.min(match pending[i] {
+                                fence_bound = fence_bound.min(match cur.pending[i] {
                                     Some((s, CpuEvent::IssueDraw)) => s.saturating_sub(1),
                                     Some((p, _)) => p,
-                                    None => ran_until[i],
+                                    None => cur.ran_until[i],
                                 });
                             }
                         }
-                        for i in 0..self.cpus.len() {
-                            if capable[i] != (pass == 0) {
+                        for (i, &cap) in capable.iter().enumerate() {
+                            if cap != (pass == 0) {
                                 continue;
                             }
-                            if pending[i].is_some() || self.cpus[i].has_pending_out() {
+                            if cur.pending[i].is_some() || self.cpus[i].has_pending_out() {
                                 continue;
                             }
-                            let mut base = ran_until[i].max(now);
+                            let mut base = cur.ran_until[i].max(now);
                             loop {
                                 let stop =
-                                    if draws_pending && !gpu_done && self.cpus[i].in_wait_gpu() {
+                                    if draws_pending && !cur.gpu_done && self.cpus[i].in_wait_gpu()
+                                    {
                                         // A submitter stuck in its own
                                         // fence wait (script quirk) gets
                                         // no pre-burn at all.
@@ -526,7 +699,7 @@ impl Soc {
                                 let (used, ev) = self.cpus[i].run_batch(
                                     base,
                                     stop - base,
-                                    gpu_done,
+                                    cur.gpu_done,
                                     &mut self.ids,
                                 );
                                 base += used;
@@ -535,15 +708,15 @@ impl Soc {
                                     // Observable interaction at `base`:
                                     // park it until the clock arrives
                                     // there.
-                                    pending[i] = Some((base, ev));
+                                    cur.pending[i] = Some((base, ev));
                                     break;
                                 }
                                 if !was_end && self.cpus[i].at_frame_end() {
-                                    end_at[i] = base;
+                                    cur.end_at[i] = base;
                                     break;
                                 }
                             }
-                            ran_until[i] = base;
+                            cur.ran_until[i] = base;
                         }
                     }
                 }
@@ -556,17 +729,17 @@ impl Soc {
                     // ticks, so it pins the wake to the cycle after its
                     // last executed one.
                     let mut wake = w;
-                    for p in pending.iter().flatten() {
+                    for p in cur.pending.iter().flatten() {
                         wake = wake.min(p.0);
                     }
-                    for &t in &end_at {
+                    for &t in &cur.end_at {
                         if t > now {
                             wake = wake.min(t);
                         }
                     }
                     for i in 0..self.cpus.len() {
-                        if pending[i].is_none() && !self.cpus[i].at_frame_end() {
-                            wake = wake.min(ran_until[i] + 1);
+                        if cur.pending[i].is_none() && !self.cpus[i].at_frame_end() {
+                            wake = wake.min(cur.ran_until[i] + 1);
                         }
                     }
                     if wake > now + 1 {
@@ -605,7 +778,7 @@ impl Soc {
                     break 'skip;
                 }
                 for c in &self.cpus {
-                    wake = emerald_common::event::earliest(wake, c.next_event(now, gpu_done));
+                    wake = emerald_common::event::earliest(wake, c.next_event(now, cur.gpu_done));
                     if wake == pin {
                         break 'skip;
                     }
@@ -645,23 +818,135 @@ impl Soc {
             }
         }
         emerald_obs::prof::loop_exit(prof_loop);
+        snap
+    }
 
-        let gfx = self.renderer.frame_stats(gpu_cycles);
+    /// Frame epilogue shared by the straight and resumed paths: books the
+    /// renderer's frame stats, bumps the frame counter and emits the trace
+    /// span covering the simulated frame interval.
+    fn finish_frame(&mut self, cur: &FrameCursor) -> SocFrameRecord {
+        let gfx = self.renderer.frame_stats(cur.gpu_cycles);
         self.expected_frags = gfx.fragments.max(1);
         self.frames_rendered += 1;
         emerald_obs::trace::span_args(
             emerald_obs::TraceCat::Frame,
             "soc_frame",
             0,
-            frame_start,
+            cur.frame_start,
             self.now,
-            &[("frame", self.frames_rendered), ("gpu_cycles", gpu_cycles)],
+            &[
+                ("frame", self.frames_rendered),
+                ("gpu_cycles", cur.gpu_cycles),
+            ],
         );
         SocFrameRecord {
-            gpu_cycles,
-            total_cycles: self.now - frame_start,
+            gpu_cycles: cur.gpu_cycles,
+            total_cycles: self.now - cur.frame_start,
             gfx,
         }
+    }
+
+    /// Hash of the `SocConfig` a snapshot was taken under, stamped into
+    /// the container so a restore against a different topology fails with
+    /// [`SnapError::ConfigHashMismatch`] instead of corrupt state.
+    fn cfg_hash(cfg: &SocConfig) -> u64 {
+        emerald_common::snap::config_hash(&format!("{cfg:?}"))
+    }
+
+    /// Serializes the full SoC into a snapshot container. `cursor` carries
+    /// mid-frame progress when checkpointing from inside the frame loop.
+    fn encode_checkpoint(&self, cursor: Option<(&FrameCursor, bool)>) -> Vec<u8> {
+        emerald_common::snap::write_container(Self::cfg_hash(&self.cfg), |w| {
+            w.section(1, |w| self.mem.snapshot(w));
+            w.section(2, |w| self.memsys.snapshot(w));
+            w.section(3, |w| self.renderer.snapshot(w));
+            w.section(4, |w| self.display.snapshot(w));
+            w.put_usize(self.cpus.len());
+            for c in &self.cpus {
+                w.section(5, |w| c.snapshot(w));
+            }
+            self.ids.snapshot(w);
+            w.put_u64(self.now);
+            w.put_u64(self.expected_frags);
+            w.put_u64(self.frames_rendered);
+            w.put_seq(self.gpu_resp.iter(), |w, resp| resp.snap_write(w));
+            w.put_u32(self.rt.width);
+            w.put_u32(self.rt.height);
+            w.put_u64(self.rt.color_base);
+            w.put_u64(self.rt.depth_base);
+            match cursor {
+                None => w.put_bool(false),
+                Some((cur, submitted)) => {
+                    w.put_bool(true);
+                    w.put_bool(submitted);
+                    cur.snap_write(w);
+                }
+            }
+        })
+    }
+
+    /// Captures the SoC between frames as a restorable snapshot. The
+    /// renderer must be drained (always true between [`Soc::run_frame`]
+    /// calls); use [`Soc::run_frame_checkpoint`] to capture mid-frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while GPU work or GPU responses are in flight.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        assert!(
+            self.renderer.is_idle() && self.gpu_resp.is_empty(),
+            "Soc::checkpoint requires a drained renderer (between frames)"
+        );
+        self.encode_checkpoint(None)
+    }
+
+    /// Rebuilds a SoC from a snapshot taken by [`Soc::checkpoint`] or
+    /// [`Soc::run_frame_checkpoint`]. `cfg` must describe the same
+    /// topology the snapshot was captured under (enforced via a config
+    /// hash stamped into the container).
+    pub fn restore(bytes: &[u8], cfg: &SocConfig) -> Result<Soc, SnapError> {
+        let mut soc = Soc::new(cfg.clone());
+        let mut r = emerald_common::snap::open_container(bytes, Self::cfg_hash(cfg))?;
+        r.section(1, |r| soc.mem.restore(r))?;
+        r.section(2, |r| soc.memsys.restore(r))?;
+        r.section(3, |r| soc.renderer.restore(r))?;
+        r.section(4, |r| soc.display.restore(r))?;
+        let n = r.get_usize()?;
+        if n != soc.cpus.len() {
+            return Err(SnapError::BadValue {
+                what: "CPU core count mismatch",
+            });
+        }
+        for c in &mut soc.cpus {
+            r.section(5, |r| c.restore(r))?;
+        }
+        soc.ids.restore(&mut r)?;
+        soc.now = r.get_u64()?;
+        soc.expected_frags = r.get_u64()?;
+        soc.frames_rendered = r.get_u64()?;
+        soc.gpu_resp = r.get_seq(41, MemResponse::snap_read)?.into();
+        let rt = (r.get_u32()?, r.get_u32()?, r.get_u64()?, r.get_u64()?);
+        if rt
+            != (
+                soc.rt.width,
+                soc.rt.height,
+                soc.rt.color_base,
+                soc.rt.depth_base,
+            )
+        {
+            return Err(SnapError::BadValue {
+                what: "render target layout mismatch",
+            });
+        }
+        soc.resume = if r.get_bool()? {
+            let submitted = r.get_bool()?;
+            let cur = FrameCursor::snap_read(&mut r, soc.cpus.len())?;
+            Some((cur, submitted))
+        } else {
+            None
+        };
+        r.finish()?;
+        Ok(soc)
     }
 
     /// Advances the SoC clock to `target` with the CPU cluster parked at
@@ -818,6 +1103,99 @@ mod tests {
             .filter(|&&p| p != emerald_common::math::pack_rgba8(0.05, 0.05, 0.08, 1.0))
             .count();
         assert!(lit > 100, "only {lit} pixels differ from clear color");
+    }
+
+    /// Everything externally observable about a SoC at a frame barrier:
+    /// clock, framebuffer contents and the published stats registry.
+    fn state_digest(soc: &Soc) -> (Cycle, Vec<u32>, String) {
+        let mut reg = emerald_obs::Registry::new();
+        soc.publish(&mut reg);
+        (soc.now(), soc.rt.read_color(&soc.mem), reg.to_json())
+    }
+
+    #[test]
+    fn checkpoint_between_frames_resumes_in_lockstep() {
+        let mut a = small_soc(MemorySystemConfig::baseline(2, DramConfig::lpddr3_1333()));
+        let d = cube_draw(&a, 0);
+        a.run_frame(vec![d], 30_000_000);
+
+        let bytes = a.checkpoint();
+        let mut b = Soc::restore(&bytes, a.config()).expect("restore");
+        assert!(!b.has_pending_frame());
+        assert_eq!(state_digest(&a), state_digest(&b));
+
+        for f in 1..3 {
+            let da = cube_draw(&a, f);
+            let db = cube_draw(&b, f);
+            // The snapshot carries the allocator cursor, so post-restore
+            // uploads land at the original addresses.
+            assert_eq!(da.vb.base, db.vb.base, "frame {f} upload diverged");
+            let ra = a.run_frame(vec![da], 30_000_000);
+            let rb = b.run_frame(vec![db], 30_000_000);
+            assert_eq!(ra.gpu_cycles, rb.gpu_cycles, "frame {f}");
+            assert_eq!(ra.total_cycles, rb.total_cycles, "frame {f}");
+            assert_eq!(ra.gfx, rb.gfx, "frame {f}");
+            assert_eq!(state_digest(&a), state_digest(&b), "frame {f}");
+        }
+    }
+
+    #[test]
+    fn mid_frame_checkpoint_resumes_in_lockstep() {
+        let mut a = small_soc(MemorySystemConfig::baseline(2, DramConfig::lpddr3_1333()));
+        let d = cube_draw(&a, 0);
+        a.run_frame(vec![d], 30_000_000);
+
+        // Capture at the first commit boundary a few hundred cycles into
+        // frame 1; the straight run continues past the capture point.
+        let d1 = cube_draw(&a, 1);
+        let at = a.now() + 500;
+        let (ra, snap) = a.run_frame_checkpoint(vec![d1.clone()], 30_000_000, Some(at));
+        let bytes = snap.expect("frame 1 never reached a commit boundary");
+
+        let mut b = Soc::restore(&bytes, a.config()).expect("restore");
+        assert!(b.has_pending_frame());
+        // `d1`'s upload is part of the restored memory image, so the
+        // original draw call is valid in `b` as-is.
+        let rb = b.resume_frame(vec![d1], 30_000_000);
+        assert_eq!(ra.gpu_cycles, rb.gpu_cycles);
+        assert_eq!(ra.total_cycles, rb.total_cycles);
+        assert_eq!(ra.gfx, rb.gfx);
+        assert_eq!(state_digest(&a), state_digest(&b));
+
+        // And the next frame still runs in lockstep.
+        let da = cube_draw(&a, 2);
+        let db = cube_draw(&b, 2);
+        assert_eq!(da.vb.base, db.vb.base);
+        let ra = a.run_frame(vec![da], 30_000_000);
+        let rb = b.run_frame(vec![db], 30_000_000);
+        assert_eq!(ra.total_cycles, rb.total_cycles);
+        assert_eq!(state_digest(&a), state_digest(&b));
+    }
+
+    #[test]
+    fn restore_rejects_foreign_config_and_corruption() {
+        let mut a = small_soc(MemorySystemConfig::baseline(2, DramConfig::lpddr3_1333()));
+        let d = cube_draw(&a, 0);
+        a.run_frame(vec![d], 30_000_000);
+        let bytes = a.checkpoint();
+
+        // A topologically different config must be refused outright.
+        let mut other = a.config().clone();
+        other.cpu_workloads = vec![CpuWorkload::driver()];
+        assert!(matches!(
+            Soc::restore(&bytes, &other),
+            Err(emerald_common::snap::SnapError::ConfigHashMismatch { .. })
+        ));
+
+        // A flipped payload byte must fail the container checksum, never
+        // produce a silently wrong SoC.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(Soc::restore(&bad, a.config()).is_err());
+
+        // Truncation must be detected.
+        assert!(Soc::restore(&bytes[..bytes.len() - 5], a.config()).is_err());
     }
 
     #[test]

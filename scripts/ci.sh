@@ -46,6 +46,12 @@ EMERALD_CPU_BATCH=0 cargo test --release --test event_skip -q
 echo "==> cpu-batch oracle suite (batch-axis lockstep + matrix + stall path)"
 cargo test --release --test cpu_batch -q
 
+echo "==> snapshot lockstep suite (checkpoint/restore invisibility, event-driven clocking)"
+cargo test --release --test snapshot -q
+
+echo "==> snapshot lockstep suite under per-cycle reference clocking (EMERALD_SKIP=0)"
+EMERALD_SKIP=0 cargo test --release --test snapshot -q
+
 echo "==> examples smoke test"
 cargo run --release --example trace_export >/dev/null
 
@@ -58,6 +64,7 @@ grep -q '"cycles_per_sec"' BENCH_frame.json
 grep -q '"speedup_vs_1t"' BENCH_frame.json
 grep -q '"phases"' BENCH_frame.json
 grep -q '"pool_dispatch"' BENCH_frame.json
+grep -q '"soc_restore_warm"' BENCH_frame.json
 
 echo "==> profiled bench smoke (EMERALD_PROFILE=1: profile blocks, overhead gate, trace export)"
 EMERALD_PROFILE=1 ./scripts/bench.sh --smoke --out BENCH_profile.json >/dev/null 2>&1
@@ -69,7 +76,8 @@ test -s BENCH_profile_trace.json
 
 cargo test --release --test bench_schema -q
 
-echo "==> bench_diff: smoke run vs committed baseline (cycles only)"
+echo "==> bench_diff: smoke run vs committed baseline (cycles only; pins the"
+echo "    soc_restore_warm restored-run cycles to the committed straight-run value)"
 cargo run --release --quiet --bin bench_diff -- scripts/bench_baseline.json BENCH_frame.json --no-wall
 
 echo "==> bench_diff: profiled vs unprofiled smoke (cycles must be identical)"

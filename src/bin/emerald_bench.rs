@@ -9,6 +9,22 @@
 //! every workload for CI smoke checks; timings are then meaningless but
 //! the JSON shape (and the cross-thread determinism checks) still hold.
 //!
+//! Checkpoint/restore modes (both exit without writing a report):
+//!
+//! * `--checkpoint-at N [--snapshot FILE]` — run the canonical SoC
+//!   pacing scenario, capture a snapshot at the first commit boundary at
+//!   or after absolute cycle `N` and write it to `FILE` (default
+//!   `soc_checkpoint.snap`).
+//! * `--restore-from FILE` — revive such a snapshot (the scenario config
+//!   is hashed into the container, so a mismatched `--smoke` flag fails
+//!   loudly), finish any interrupted frame and run two more frames,
+//!   reporting the warm-start wall time.
+//!
+//! The `soc_restore_cold` / `soc_restore_warm` workloads in the standard
+//! report measure the same path end-to-end: a cold run (build + warm-up
+//! frames + measured frames) against a warm start (restore + the same
+//! measured frames), asserting bit-identical final cycles.
+//!
 //! With `EMERALD_PROFILE=1` each run additionally carries a host
 //! self-profile (`obs::prof`): per-phase wall-clock attribution, pool
 //! utilization and skip-opportunity counts, plus a Chrome-trace export of
@@ -71,6 +87,28 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_frame.json".to_string());
+    let snapshot_path = args
+        .iter()
+        .position(|a| a == "--snapshot")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "soc_checkpoint.snap".to_string());
+    if let Some(at) = args
+        .iter()
+        .position(|a| a == "--checkpoint-at")
+        .and_then(|i| args.get(i + 1))
+    {
+        let at: u64 = at.parse().expect("--checkpoint-at wants a cycle number");
+        checkpoint_mode(smoke, at, &snapshot_path);
+        return;
+    }
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--restore-from")
+        .and_then(|i| args.get(i + 1).cloned())
+    {
+        restore_mode(smoke, &path);
+        return;
+    }
     let thread_counts: &[usize] = &[1, 2, 4];
 
     let profiling = emerald::obs::prof::init_from_env();
@@ -176,7 +214,42 @@ fn main() {
         workloads.push(Workload { name, runs });
     }
 
-    // 5. Pool dispatch-latency microbenchmark: the fixed cost of one
+    // 5. Checkpoint/restore warm start: a cold run (build + warm-up
+    // frames + measured frames) against a warm start that revives a
+    // snapshot taken after the warm-up and replays the same measured
+    // frames. Final simulated cycles must be bit-identical — the cycles
+    // column of `soc_restore_warm` equals `soc_restore_cold` by
+    // construction, so the committed baseline pins the restored run to
+    // the straight run.
+    let (cold, warm) = bench_soc_restore(smoke);
+    eprintln!(
+        "soc_restore cold: {:.1} ms ({:.1} build / {:.1} warmup+measured), {} cycles",
+        cold.wall_ms, cold.phases.setup_ms, cold.phases.sim_ms, cold.cycles
+    );
+    eprintln!(
+        "soc_restore warm: {:.1} ms ({:.1} restore / {:.1} measured), {} cycles — {:.2}x cold",
+        warm.wall_ms,
+        warm.phases.setup_ms,
+        warm.phases.sim_ms,
+        warm.cycles,
+        cold.wall_ms / warm.wall_ms
+    );
+    assert!(
+        warm.wall_ms < cold.wall_ms,
+        "warm start ({:.1} ms) must beat cold start ({:.1} ms) — restore is cheaper than re-simulating the warm-up",
+        warm.wall_ms,
+        cold.wall_ms
+    );
+    workloads.push(Workload {
+        name: "soc_restore_cold",
+        runs: vec![cold],
+    });
+    workloads.push(Workload {
+        name: "soc_restore_warm",
+        runs: vec![warm],
+    });
+
+    // 6. Pool dispatch-latency microbenchmark: the fixed cost of one
     // empty `CorePool::run` (publish, wake, join) per pool width.
     let mut pool_dispatch = Vec::new();
     for width in [2usize, 4] {
@@ -502,6 +575,138 @@ fn bench_soc_fencewait(threads: usize, smoke: bool) -> Run {
         phases,
         profile,
     }
+}
+
+/// `--checkpoint-at N`: runs the canonical pacing scenario until the
+/// first commit boundary at or after absolute cycle `N`, snapshots there
+/// and writes the container to `path`. Frames keep running until the
+/// boundary is found (bounded, so a cycle far beyond the scenario's
+/// horizon fails loudly instead of spinning).
+fn checkpoint_mode(smoke: bool, at: u64, path: &str) {
+    let (mut soc, binding, aspect) = idle_soc(1, smoke);
+    for f in 0..64u32 {
+        let draw = binding.draw_for_frame(f, aspect, false);
+        let (_, snap) = soc.run_frame_checkpoint(vec![draw], 500_000_000, Some(at));
+        let bytes = match snap {
+            Some(b) => b,
+            // The target fell between this frame's last commit boundary
+            // and the frame end: the inter-frame barrier is the first
+            // boundary at or after `at`.
+            None if soc.now() >= at => soc.checkpoint(),
+            None => continue,
+        };
+        std::fs::write(path, &bytes).expect("write snapshot");
+        eprintln!(
+            "checkpoint at cycle {} (frame {f}, requested {at}): {} bytes -> {path}",
+            soc.now(),
+            bytes.len()
+        );
+        return;
+    }
+    eprintln!("FAIL: no commit boundary at or after cycle {at} within 64 frames");
+    std::process::exit(1);
+}
+
+/// `--restore-from FILE`: revives a snapshot written by
+/// `--checkpoint-at`, finishes any interrupted frame and runs two more,
+/// reporting the warm-start wall time. The scratch SoC exists only to
+/// rebuild the scenario config (hash-checked against the container) and
+/// the scene binding, whose descriptors are valid in the restored memory
+/// image because the snapshot captured the same deterministic uploads.
+fn restore_mode(smoke: bool, path: &str) {
+    let (scratch, binding, aspect) = idle_soc(1, smoke);
+    let bytes = std::fs::read(path).expect("read snapshot");
+    let (restore_ms, soc) = timed(|| Soc::restore(&bytes, scratch.config()));
+    let mut soc = soc.unwrap_or_else(|e| {
+        eprintln!("FAIL: restore rejected {path}: {e:?} (wrong --smoke flag or stale file?)");
+        std::process::exit(1);
+    });
+    let mut f = soc.frames_rendered() as u32;
+    let (sim_ms, cycles) = timed(|| {
+        if soc.has_pending_frame() {
+            soc.resume_frame(vec![binding.draw_for_frame(f, aspect, false)], 500_000_000);
+            f += 1;
+        }
+        for _ in 0..2 {
+            soc.run_frame(vec![binding.draw_for_frame(f, aspect, false)], 500_000_000);
+            f += 1;
+        }
+        soc.now()
+    });
+    eprintln!(
+        "restored {path} ({} bytes) in {restore_ms:.1} ms; ran to frame {f} in {sim_ms:.1} ms, now at cycle {cycles}",
+        bytes.len()
+    );
+}
+
+/// Cold-vs-warm start on the pacing scenario. Cold builds a SoC and runs
+/// warm-up plus measured frames; warm revives a snapshot taken after the
+/// warm-up (captured outside either timing window) and replays only the
+/// measured frames. Both arms must land on identical final cycles and
+/// framebuffers — restore is only a win if it is also invisible.
+fn bench_soc_restore(smoke: bool) -> (Run, Run) {
+    let warmup: u32 = if smoke { 2 } else { 4 };
+    let measured: u32 = if smoke { 1 } else { 2 };
+
+    let (build_ms, (mut soc, binding, aspect)) = timed(|| idle_soc(1, smoke));
+    let (warmup_ms, _) = timed(|| {
+        for f in 0..warmup {
+            soc.run_frame(vec![binding.draw_for_frame(f, aspect, false)], 500_000_000);
+        }
+    });
+    let bytes = soc.checkpoint();
+    let (cold_ms, cold_cycles) = timed(|| {
+        for f in warmup..warmup + measured {
+            soc.run_frame(vec![binding.draw_for_frame(f, aspect, false)], 500_000_000);
+        }
+        soc.now()
+    });
+    let cold_fb = soc.rt.read_color(&soc.mem);
+
+    let (restore_ms, warm_soc) = timed(|| Soc::restore(&bytes, soc.config()));
+    let mut warm_soc = warm_soc.expect("restore own checkpoint");
+    let (warm_ms, warm_cycles) = timed(|| {
+        for f in warmup..warmup + measured {
+            warm_soc.run_frame(vec![binding.draw_for_frame(f, aspect, false)], 500_000_000);
+        }
+        warm_soc.now()
+    });
+    assert_eq!(
+        cold_cycles, warm_cycles,
+        "restored run's simulated cycles diverged from the straight run"
+    );
+    assert_eq!(
+        cold_fb,
+        warm_soc.rt.read_color(&warm_soc.mem),
+        "restored run's framebuffer diverged from the straight run"
+    );
+
+    let cold_phases = PhaseTimes {
+        setup_ms: build_ms,
+        sim_ms: warmup_ms + cold_ms,
+        readback_ms: 0.0,
+    };
+    let warm_phases = PhaseTimes {
+        setup_ms: restore_ms,
+        sim_ms: warm_ms,
+        readback_ms: 0.0,
+    };
+    (
+        Run {
+            threads: 1,
+            wall_ms: cold_phases.total_ms(),
+            cycles: cold_cycles,
+            phases: cold_phases,
+            profile: None,
+        },
+        Run {
+            threads: 1,
+            wall_ms: warm_phases.total_ms(),
+            cycles: warm_cycles,
+            phases: warm_phases,
+            profile: None,
+        },
+    )
 }
 
 fn bench_soc_frame(threads: usize, smoke: bool) -> Run {

@@ -12,8 +12,8 @@ use emerald_conformance::isadiff::{self, shrink_failing};
 use emerald_conformance::{
     batch_oracle, check_case, check_case_matrix, check_with_injected_bug, conf_cases, gap_oracle,
     gen_draw, gen_program, run_draw_case, run_draw_case_timed, shrink_batch_candidates,
-    shrink_draw_candidates, shrink_gap_candidates, skip_dispatch_points, BatchScenario,
-    GapScenario,
+    shrink_draw_candidates, shrink_gap_candidates, shrink_snap_candidates, skip_dispatch_points,
+    snap_oracle, BatchScenario, GapScenario, SnapBug, SnapScenario,
 };
 
 /// Shrink-step budget. Generated programs have < 40 instructions, so this
@@ -224,6 +224,57 @@ fn overrun_batch_window_is_caught_and_shrunk() {
         assert!(small.overrun >= 1, "shrinking never reaches the honest 0");
         assert!(small.instrs <= sc.instrs && small.overrun <= sc.overrun);
         batch_oracle(&small).expect_err(&format!(
+            "shrunk scenario still fails: {}",
+            small.describe()
+        ));
+    });
+}
+
+/// The snapshot canary: both unsafe directions of checkpoint/restore — a
+/// corrupted snapshot byte and a component whose hidden state (an RNG
+/// stream) is left un-restored — must be caught by the straight-vs-
+/// restored twin oracle, replay from their seed, and shrink to a minimal
+/// still-failing scenario that keeps the injected bug alive.
+#[test]
+fn corrupted_or_partial_restore_is_caught_and_shrunk() {
+    // The honest implementation passes...
+    snap_oracle(&SnapScenario {
+        frames: 2,
+        offset_pct: 40,
+        event_skip: true,
+        cpu_batch: false,
+        bug: SnapBug::None,
+    })
+    .expect("honest checkpoint/restore conforms");
+    // ...and seeded random injections are always caught, then minimized.
+    // The oracle runs a full SoC twice, so the case count stays small.
+    check_n("snapshot_canary", 4, |rng| {
+        let bug = if rng.chance(0.5) {
+            SnapBug::FlipByte {
+                pos_pct: rng.below(101) as u32,
+                mask: 1 << rng.below(8),
+            }
+        } else {
+            SnapBug::StaleRng
+        };
+        let sc = SnapScenario {
+            frames: 2 + rng.below(2) as u32,
+            offset_pct: rng.range(0, 120) as u32,
+            event_skip: rng.chance(0.5),
+            cpu_batch: rng.chance(0.5),
+            bug,
+        };
+        let v = snap_oracle(&sc).expect_err("injected snapshot bug must be caught");
+        assert!(!v.detail.is_empty());
+        let (small, _steps) = minimize(
+            sc.clone(),
+            shrink_snap_candidates,
+            |c| snap_oracle(c).is_err(),
+            16,
+        );
+        assert_eq!(small.bug, sc.bug, "shrinking never removes the bug");
+        assert!(small.frames <= sc.frames && small.offset_pct <= sc.offset_pct);
+        snap_oracle(&small).expect_err(&format!(
             "shrunk scenario still fails: {}",
             small.describe()
         ));
