@@ -1,11 +1,15 @@
-//! A minimal strict JSON parser (RFC 8259) for validating the repo's
-//! serde-free JSON *writers* — the telemetry registry dump, the Chrome
-//! trace export, and the bench report. The offline build cannot depend on
-//! serde, so schema tests parse with this instead.
+//! A minimal strict JSON parser and writer (RFC 8259). The parser
+//! validates the repo's serde-free JSON *writers* — the telemetry
+//! registry dump, the Chrome trace export, and the bench report; the
+//! offline build cannot depend on serde, so schema tests parse with this
+//! instead.
 //!
-//! This is a checker, not a data-interchange layer: it accepts exactly
-//! well-formed documents and keeps object fields in document order so
-//! tests can assert on writer output byte-for-byte where they care to.
+//! The [`JsonWriter`] half is the data-interchange layer the sweep
+//! server's JSON-line protocol is built on: escape-correct strings,
+//! comma/nesting bookkeeping, and single-line output (a JSONL record must
+//! never contain a raw newline). [`Json::encode`] round-trips any parsed
+//! value; the property tests in this module drive random documents
+//! through encode → parse and require equality.
 
 /// A parsed JSON value. Object fields keep document order (duplicates are
 /// preserved; [`Json::get`] returns the first match).
@@ -79,6 +83,243 @@ impl Json {
             Json::Bool(b) => Some(*b),
             _ => None,
         }
+    }
+}
+
+/// Appends `s` to `out` with every character that RFC 8259 requires
+/// escaped (`"`, `\`, and all controls below `0x20`) written as an escape
+/// sequence. The short forms `\n`, `\r`, `\t`, `\b`, `\f` are preferred;
+/// remaining controls use `\u00XX`. All other characters — including
+/// non-ASCII — pass through verbatim (the output is UTF-8).
+pub fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats a finite `f64` so the parser reads back the identical value
+/// (Rust's shortest round-trip `Display`). Non-finite values have no JSON
+/// representation and serialize as `null`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` omits the fraction for integral values ("3"); that is
+        // already valid JSON, so keep it.
+        s
+    } else {
+        debug_assert!(v.is_finite(), "non-finite number has no JSON encoding");
+        "null".to_string()
+    }
+}
+
+/// A single-line, escape-correct JSON builder.
+///
+/// The writer tracks nesting and inserts commas, so call sites only state
+/// structure: `begin_obj` / `key` / value / `end_obj`. Output contains no
+/// newlines — one finished document is one JSONL record. Misuse (a value
+/// where a key is required, unbalanced `end_*`) panics: the writer is an
+/// in-process serializer, not a parser of untrusted input.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One frame per open container: `true` = object (expects keys).
+    stack: Vec<bool>,
+    /// Whether the current container already holds an element.
+    has_elem: Vec<bool>,
+    /// A key was just written; exactly one value must follow.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn comma(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some(h) = self.has_elem.last_mut() {
+            assert!(
+                !*self.stack.last().expect("container"),
+                "JsonWriter: value in object position requires a key"
+            );
+            if *h {
+                self.out.push(',');
+            }
+            *h = true;
+        }
+    }
+
+    /// Opens an object (as a value or the document root).
+    pub fn begin_obj(&mut self) -> &mut Self {
+        self.comma();
+        self.out.push('{');
+        self.stack.push(true);
+        self.has_elem.push(false);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) -> &mut Self {
+        assert_eq!(self.stack.pop(), Some(true), "end_obj without begin_obj");
+        self.has_elem.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Opens an array (as a value or the document root).
+    pub fn begin_arr(&mut self) -> &mut Self {
+        self.comma();
+        self.out.push('[');
+        self.stack.push(false);
+        self.has_elem.push(false);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) -> &mut Self {
+        assert_eq!(self.stack.pop(), Some(false), "end_arr without begin_arr");
+        self.has_elem.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Writes an object key; the next call must write its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        assert!(
+            matches!(self.stack.last(), Some(true)) && !self.pending_key,
+            "JsonWriter: key outside an object"
+        );
+        if *self.has_elem.last().expect("object") {
+            self.out.push(',');
+        }
+        *self.has_elem.last_mut().expect("object") = true;
+        self.out.push('"');
+        escape_into(&mut self.out, k);
+        self.out.push_str("\":");
+        self.pending_key = true;
+        self
+    }
+
+    /// Writes a string value.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.comma();
+        self.out.push('"');
+        escape_into(&mut self.out, v);
+        self.out.push('"');
+        self
+    }
+
+    /// Writes a number value.
+    pub fn num(&mut self, v: f64) -> &mut Self {
+        self.comma();
+        let s = fmt_f64(v);
+        self.out.push_str(&s);
+        self
+    }
+
+    /// Writes an unsigned integer exactly (no float round-trip).
+    pub fn num_u64(&mut self, v: u64) -> &mut Self {
+        self.comma();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Writes a signed integer exactly.
+    pub fn num_i64(&mut self, v: i64) -> &mut Self {
+        self.comma();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.comma();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Writes `null`.
+    pub fn null(&mut self) -> &mut Self {
+        self.comma();
+        self.out.push_str("null");
+        self
+    }
+
+    /// Splices a pre-serialized JSON value verbatim (e.g. an embedded
+    /// registry dump). The caller guarantees `json` is a complete value
+    /// with no raw newlines.
+    pub fn raw(&mut self, json: &str) -> &mut Self {
+        debug_assert!(
+            !json.contains('\n'),
+            "raw JSON spliced into a JSONL record must be single-line"
+        );
+        self.comma();
+        self.out.push_str(json);
+        self
+    }
+
+    /// Writes a full [`Json`] value.
+    pub fn value(&mut self, v: &Json) -> &mut Self {
+        match v {
+            Json::Null => self.null(),
+            Json::Bool(b) => self.bool(*b),
+            Json::Num(n) => self.num(*n),
+            Json::Str(s) => self.str(s),
+            Json::Arr(items) => {
+                self.begin_arr();
+                for it in items {
+                    self.value(it);
+                }
+                self.end_arr()
+            }
+            Json::Obj(fields) => {
+                self.begin_obj();
+                for (k, val) in fields {
+                    self.key(k);
+                    self.value(val);
+                }
+                self.end_obj()
+            }
+        }
+    }
+
+    /// Finishes the document, returning the serialized text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a container is still open or a key awaits its value.
+    pub fn finish(self) -> String {
+        assert!(
+            self.stack.is_empty() && !self.pending_key,
+            "JsonWriter: unbalanced document"
+        );
+        self.out
+    }
+}
+
+impl Json {
+    /// Serializes this value as compact single-line JSON that parses back
+    /// to an equal value (see the round-trip property tests).
+    pub fn encode(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.value(self);
+        w.finish()
     }
 }
 
@@ -290,5 +531,135 @@ mod tests {
         assert_eq!(esc.as_str(), Some("Aé"));
         let doc = Json::parse(r#""Aé""#).unwrap();
         assert_eq!(doc.as_str(), Some("Aé"));
+    }
+
+    #[test]
+    fn writer_builds_expected_document() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("name").str("line\none \"quoted\"");
+        w.key("n").num_u64(42);
+        w.key("neg").num_i64(-7);
+        w.key("pi").num(3.25);
+        w.key("flag").bool(true);
+        w.key("none").null();
+        w.key("arr").begin_arr();
+        w.num_u64(1).num_u64(2);
+        w.begin_obj().key("k").str("v").end_obj();
+        w.end_arr();
+        w.end_obj();
+        let text = w.finish();
+        assert_eq!(
+            text,
+            r#"{"name":"line\none \"quoted\"","n":42,"neg":-7,"pi":3.25,"flag":true,"none":null,"arr":[1,2,{"k":"v"}]}"#
+        );
+        assert!(!text.contains('\n'));
+        Json::parse(&text).expect("writer output parses");
+    }
+
+    #[test]
+    fn escape_covers_all_controls() {
+        // Every string the writer emits must parse back to the original,
+        // including the full control range and the two mandatory escapes.
+        for code in 0u32..0x20 {
+            let ch = char::from_u32(code).unwrap();
+            let original = format!("a{ch}b");
+            let encoded = Json::Str(original.clone()).encode();
+            assert!(!encoded.contains('\n'), "raw newline in {encoded:?}");
+            assert_eq!(Json::parse(&encoded).unwrap().as_str(), Some(&original[..]));
+        }
+        let tricky = "q\"s\\t/u\u{7f}é😀";
+        let encoded = Json::Str(tricky.to_string()).encode();
+        assert_eq!(Json::parse(&encoded).unwrap().as_str(), Some(tricky));
+    }
+
+    /// Random JSON value, bounded in depth and width so a case stays small.
+    fn gen_value(rng: &mut crate::rng::Xorshift64, depth: u32) -> Json {
+        let leaf_only = depth == 0;
+        match if leaf_only {
+            rng.below(4)
+        } else {
+            rng.below(6)
+        } {
+            0 => Json::Null,
+            1 => Json::Bool(rng.chance(0.5)),
+            2 => {
+                // Mix integers and fractions; always finite.
+                if rng.chance(0.5) {
+                    Json::Num(rng.next_u32() as f64 - (u32::MAX / 2) as f64)
+                } else {
+                    Json::Num(rng.next_f64() * 1e6 - 5e5)
+                }
+            }
+            3 => Json::Str(gen_string(rng)),
+            4 => {
+                let n = rng.below(4) as usize;
+                Json::Arr((0..n).map(|_| gen_value(rng, depth - 1)).collect())
+            }
+            _ => {
+                let n = rng.below(4) as usize;
+                Json::Obj(
+                    (0..n)
+                        .map(|_| (gen_string(rng), gen_value(rng, depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    fn gen_string(rng: &mut crate::rng::Xorshift64) -> String {
+        let n = rng.below(8) as usize;
+        (0..n)
+            .map(|_| match rng.below(5) {
+                0 => char::from_u32(rng.below(0x20) as u32).unwrap(), // control
+                1 => ['"', '\\', '/', '\u{7f}'][rng.below(4) as usize],
+                2 => ['é', '汉', '😀'][rng.below(3) as usize],
+                _ => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap(), // ASCII
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prop_encode_parse_roundtrip() {
+        crate::check::check("json encode/parse roundtrip", |rng| {
+            let v = gen_value(rng, 3);
+            let text = v.encode();
+            assert!(!text.contains('\n'), "JSONL record holds raw newline");
+            let back = Json::parse(&text)
+                .unwrap_or_else(|e| panic!("encode produced unparseable {text:?}: {e}"));
+            assert_eq!(back, v, "roundtrip mismatch for {text:?}");
+        });
+    }
+
+    #[test]
+    fn prop_numbers_roundtrip_exactly() {
+        crate::check::check("json f64 shortest roundtrip", |rng| {
+            let v = f64::from_bits(rng.next_u64());
+            if !v.is_finite() {
+                return;
+            }
+            let text = fmt_f64(v);
+            let back = Json::parse(&text).unwrap().as_num().unwrap();
+            assert!(
+                back == v || (back == 0.0 && v == 0.0),
+                "{v:?} reparsed as {back:?} via {text:?}"
+            );
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a key")]
+    fn writer_rejects_value_in_key_position() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.num_u64(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn writer_rejects_unclosed_document() {
+        let mut w = JsonWriter::new();
+        w.begin_arr();
+        w.finish();
     }
 }

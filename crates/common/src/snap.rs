@@ -545,11 +545,155 @@ pub fn open_container(bytes: &[u8], expected_cfg_hash: u64) -> Result<SnapReader
     Ok(r)
 }
 
+/// An immutable, checksum-validated snapshot shared between sessions.
+///
+/// Forking N configurations from one warmed snapshot must not copy the
+/// bytes N times: validation (magic, checksum, version) happens **once**
+/// at construction, the payload lives in an `Arc<[u8]>`, and every
+/// [`SharedSnapshot::reader`] call hands out a cheap borrowed
+/// [`SnapReader`] positioned over the body. The config hash stamped in
+/// the header is recorded so each fork can still assert compatibility
+/// against its own live configuration without re-reading the container.
+#[derive(Debug, Clone)]
+pub struct SharedSnapshot {
+    bytes: std::sync::Arc<[u8]>,
+    cfg_hash: u64,
+    body_end: usize,
+}
+
+impl SharedSnapshot {
+    /// Validates the container once (magic, checksum, version) and wraps
+    /// it for sharing. The stamped config hash is recorded, not checked —
+    /// callers compare it via [`SharedSnapshot::cfg_hash`] or let
+    /// `reader` enforce it.
+    pub fn new(bytes: Vec<u8>) -> Result<Self, SnapError> {
+        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        if bytes.len() < CONTAINER_OVERHEAD {
+            return Err(SnapError::Truncated {
+                offset: bytes.len(),
+                need: CONTAINER_OVERHEAD - bytes.len(),
+            });
+        }
+        let body_end = bytes.len() - 8;
+        let stored = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+        if payload_checksum(&bytes[..body_end]) != stored {
+            return Err(SnapError::ChecksumMismatch);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(SnapError::VersionSkew {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let cfg_hash = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        Ok(Self {
+            bytes: bytes.into(),
+            cfg_hash,
+            body_end,
+        })
+    }
+
+    /// Config hash stamped into the container header at snapshot time.
+    pub fn cfg_hash(&self) -> u64 {
+        self.cfg_hash
+    }
+
+    /// Total container size in bytes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the container is empty (never — kept for clippy symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The raw container bytes (e.g. for writing to disk).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// A reader positioned over the body, after checking the stamped
+    /// config hash against `expected_cfg_hash`. No per-fork validation
+    /// work happens here beyond that comparison — the expensive checksum
+    /// ran once in [`SharedSnapshot::new`].
+    pub fn reader(&self, expected_cfg_hash: u64) -> Result<SnapReader<'_>, SnapError> {
+        if self.cfg_hash != expected_cfg_hash {
+            return Err(SnapError::ConfigHashMismatch {
+                found: self.cfg_hash,
+                expected: expected_cfg_hash,
+            });
+        }
+        let mut r = SnapReader::new(&self.bytes[..self.body_end]);
+        r.pos = MAGIC.len() + 4 + 8; // skip magic, version, config hash
+        Ok(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::check;
     use crate::rng::Xorshift64;
+
+    #[test]
+    fn shared_snapshot_matches_open_container() {
+        let full = write_container(0xC0FFEE, |w| {
+            w.section(3, |w| {
+                w.put_u64(99);
+                w.put_str("shared");
+            });
+        });
+        let shared = SharedSnapshot::new(full.clone()).unwrap();
+        assert_eq!(shared.cfg_hash(), 0xC0FFEE);
+        assert_eq!(shared.as_bytes(), &full[..]);
+        // Many readers off one validated container decode identically.
+        for _ in 0..3 {
+            let mut r = shared.reader(0xC0FFEE).unwrap();
+            r.section(3, |r| {
+                assert_eq!(r.get_u64()?, 99);
+                assert_eq!(r.get_str()?, "shared");
+                Ok(())
+            })
+            .unwrap();
+            r.finish().unwrap();
+        }
+        assert!(matches!(
+            shared.reader(0xBAD),
+            Err(SnapError::ConfigHashMismatch {
+                found: 0xC0FFEE,
+                expected: 0xBAD
+            })
+        ));
+    }
+
+    #[test]
+    fn shared_snapshot_rejects_corruption_once_up_front() {
+        let full = write_container(1, |w| w.put_u64(5));
+        let mut bad = full.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        assert!(matches!(
+            SharedSnapshot::new(bad),
+            Err(SnapError::ChecksumMismatch)
+        ));
+        assert!(matches!(
+            SharedSnapshot::new(b"NOTASNAP".to_vec()),
+            Err(SnapError::BadMagic)
+        ));
+        let mut skew = full.clone();
+        skew[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        let end = skew.len() - 8;
+        let sum = payload_checksum(&skew[..end]);
+        skew[end..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            SharedSnapshot::new(skew),
+            Err(SnapError::VersionSkew { .. })
+        ));
+    }
 
     #[test]
     fn scalar_round_trip_property() {

@@ -23,6 +23,9 @@
 //! - [`snapconf`] checks checkpoint/restore snapshot invisibility with a
 //!   straight-vs-restored twin oracle and injected byte-corruption and
 //!   stale-RNG-stream canaries.
+//! - [`budget`] arms SoC-running oracles with a wall-clock frame budget
+//!   (`EMERALD_CONF_FRAME_BUDGET_MS`); a case that blows it checkpoints
+//!   its `Soc` into `EMERALD_TIMEOUT_SNAP_DIR` for CI artifact upload.
 //!
 //! Failures replay from a single case seed (see
 //! `emerald_common::check`) and are shrunk with
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod batchconf;
+pub mod budget;
 pub mod drawgen;
 pub mod eventconf;
 pub mod isadiff;
@@ -39,6 +43,7 @@ pub mod refmodel;
 pub mod snapconf;
 
 pub use batchconf::{batch_oracle, shrink_batch_candidates, BatchScenario, BatchViolation};
+pub use budget::{dump_snapshot_to, FrameBudget};
 pub use drawgen::{gen_draw, run_draw_case, run_draw_case_timed, shrink_draw_candidates, DrawCase};
 pub use eventconf::{gap_oracle, shrink_gap_candidates, GapScenario, GapViolation};
 pub use isadiff::{

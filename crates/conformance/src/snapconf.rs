@@ -74,7 +74,7 @@ impl SnapScenario {
         )
     }
 
-    fn config(&self) -> SocConfig {
+    pub(crate) fn config(&self) -> SocConfig {
         let mut cfg = SocConfig::case_study_1(
             MemorySystemConfig::baseline(2, DramConfig::lpddr3_1600()),
             48,
@@ -108,7 +108,7 @@ pub struct SnapViolation {
 
 const MAX: u64 = 60_000_000;
 
-fn cube_draw(soc: &Soc, frame: u32) -> DrawCall {
+pub(crate) fn cube_draw(soc: &Soc, frame: u32) -> DrawCall {
     let a = 0.4 + frame as f32 * 0.08;
     let mvp = Mat4::perspective(60f32.to_radians(), 1.5, 0.1, 50.0).mul_mat4(&Mat4::look_at(
         Vec3::new(2.0 * a.cos(), 1.0, 2.0 * a.sin()),
@@ -141,6 +141,11 @@ fn digest(soc: &Soc) -> (u64, Vec<u32>, String) {
 /// Runs the scenario's straight instance and a restored twin and diffs
 /// every frame barrier from the checkpoint to the end of the scenario.
 pub fn snap_oracle(sc: &SnapScenario) -> Result<(), SnapViolation> {
+    // Armed only under the deep-fuzz job (`EMERALD_CONF_FRAME_BUDGET_MS`):
+    // a scenario that blows its wall-clock budget checkpoints the straight
+    // instance for the CI artifact step and panics with the dump path —
+    // a timeout is a harness failure, not an oracle verdict.
+    let budget = crate::budget::FrameBudget::from_env();
     let cfg = sc.config();
     let mut straight = Soc::new(cfg.clone());
     let d0 = cube_draw(&straight, 0);
@@ -189,6 +194,9 @@ pub fn snap_oracle(sc: &SnapScenario) -> Result<(), SnapViolation> {
     }
 
     for f in 2..sc.frames {
+        if let Err(msg) = budget.check("snap_oracle", &straight) {
+            panic!("{msg}");
+        }
         let ds = cube_draw(&straight, f);
         let dr = cube_draw(&restored, f);
         if ds.vb.base != dr.vb.base {

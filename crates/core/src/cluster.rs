@@ -10,7 +10,7 @@ use emerald_common::hash::{FxHashMap, FxHashSet};
 use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::types::Cycle;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One fragment headed for shading.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,13 +68,13 @@ pub struct ClusterStats {
 
 #[derive(Debug)]
 struct InFlightPrim {
-    prim: Rc<ScreenPrim>,
+    prim: Arc<ScreenPrim>,
     ready_at: Cycle,
 }
 
 #[derive(Debug)]
 struct CoarseState {
-    prim: Rc<ScreenPrim>,
+    prim: Arc<ScreenPrim>,
     /// Precomputed owned+overlapped raster-tile coordinates.
     tiles: Vec<(u32, u32)>,
     idx: usize,
@@ -82,7 +82,7 @@ struct CoarseState {
 
 #[derive(Debug)]
 struct PendingTile {
-    prim: Rc<ScreenPrim>,
+    prim: Arc<ScreenPrim>,
     /// Global raster-tile coordinates.
     rt_pos: (u32, u32),
 }
@@ -268,7 +268,7 @@ pub struct ClusterPipe {
     cfg: GfxConfig,
     setup_in: VecDeque<PrimRef>,
     setup_wip: VecDeque<InFlightPrim>,
-    coarse_q: VecDeque<Rc<ScreenPrim>>,
+    coarse_q: VecDeque<Arc<ScreenPrim>>,
     coarse: Option<CoarseState>,
     hiz_q: VecDeque<PendingTile>,
     hiz: FxHashMap<(u32, u32), f32>,
@@ -330,7 +330,7 @@ impl ClusterPipe {
     /// Serializes the persistent pipeline state. Checkpoints sit at a
     /// drained frame boundary, so only the Hi-Z buffer, the statistics and
     /// the TC engines' staleness clocks survive between frames; in-flight
-    /// primitives hold `Rc<ScreenPrim>` and are never serialized.
+    /// primitives hold `Arc<ScreenPrim>` and are never serialized.
     ///
     /// # Panics
     ///
@@ -516,7 +516,7 @@ impl ClusterPipe {
             if let Ok(sp) = setup_prim(&verts, width, height) {
                 self.stats.prims_setup += 1;
                 self.setup_wip.push_back(InFlightPrim {
-                    prim: Rc::new(sp),
+                    prim: Arc::new(sp),
                     ready_at: now + self.cfg.setup_latency,
                 });
             }

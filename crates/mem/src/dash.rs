@@ -22,9 +22,8 @@ use crate::sched::{BankState, DramScheduler, FrFcfs, QueuedReq};
 use emerald_common::rng::Xorshift64;
 use emerald_common::snap::{SnapError, SnapReader, SnapWriter};
 use emerald_common::types::{Cycle, TrafficSource};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Which traffic the TCM clustering threshold is computed over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -230,7 +229,7 @@ impl emerald_common::snap::Snapshot for DashHandle {
     /// fairness counters, and the RNG stream) exactly once — per-channel
     /// `DashScheduler` instances are stateless views over this handle.
     fn snapshot(&self, w: &mut SnapWriter) {
-        let s = self.0.borrow();
+        let s = self.0.lock().expect("dash state poisoned");
         w.put_seq(s.cpu_bytes.iter(), |w, (&id, &b)| {
             w.put_usize(id);
             w.put_u64(b);
@@ -253,7 +252,7 @@ impl emerald_common::snap::Snapshot for DashHandle {
 
 impl emerald_common::snap::Restore for DashHandle {
     fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        let mut s = self.0.borrow_mut();
+        let mut s = self.0.lock().expect("dash state poisoned");
         s.cpu_bytes = r
             .get_seq(9, |r| Ok((r.get_usize()?, r.get_u64()?)))?
             .into_iter()
@@ -280,24 +279,24 @@ impl emerald_common::snap::Restore for DashHandle {
 
 /// Handle owned by the SoC for feeding DASH its deadline information.
 #[derive(Debug, Clone)]
-pub struct DashHandle(Rc<RefCell<DashShared>>);
+pub struct DashHandle(Arc<Mutex<DashShared>>);
 
 impl DashHandle {
     /// Creates the shared state and returns a handle to it.
     pub fn new(cfg: DashConfig) -> Self {
-        Self(Rc::new(RefCell::new(DashShared::new(cfg))))
+        Self(Arc::new(Mutex::new(DashShared::new(cfg))))
     }
 
     /// Builds a per-channel scheduler sharing this state.
     pub fn scheduler(&self) -> DashScheduler {
         DashScheduler {
-            shared: Rc::clone(&self.0),
+            shared: Arc::clone(&self.0),
         }
     }
 
     /// Marks `source` urgent or not directly.
     pub fn set_urgent(&self, source: TrafficSource, urgent: bool) {
-        let mut s = self.0.borrow_mut();
+        let mut s = self.0.lock().expect("dash state poisoned");
         if urgent {
             s.urgent.insert(source);
         } else {
@@ -310,7 +309,7 @@ impl DashHandle {
     /// urgent when its progress rate falls below the emergent threshold
     /// (0.9 for the GPU, 0.8 for other IPs, per Table 3).
     pub fn update_progress(&self, source: TrafficSource, done_frac: f64, elapsed_frac: f64) {
-        let mut s = self.0.borrow_mut();
+        let mut s = self.0.lock().expect("dash state poisoned");
         let threshold = match source {
             TrafficSource::Gpu => s.cfg.emergent_threshold_gpu,
             _ => s.cfg.emergent_threshold_ip,
@@ -329,14 +328,14 @@ impl DashHandle {
 
     /// Runs `f` against the shared state (stats, tests).
     pub fn inspect<R>(&self, f: impl FnOnce(&DashShared) -> R) -> R {
-        f(&self.0.borrow())
+        f(&self.0.lock().expect("dash state poisoned"))
     }
 }
 
 /// Per-channel DASH scheduler; all instances share one [`DashShared`].
 #[derive(Debug)]
 pub struct DashScheduler {
-    shared: Rc<RefCell<DashShared>>,
+    shared: Arc<Mutex<DashShared>>,
 }
 
 impl DramScheduler for DashScheduler {
@@ -350,7 +349,7 @@ impl DramScheduler for DashScheduler {
         if queue.is_empty() {
             return None;
         }
-        let shared = self.shared.borrow();
+        let shared = self.shared.lock().expect("dash state poisoned");
         let best_class = queue
             .iter()
             .map(|q| shared.class(q.req.source))
@@ -375,7 +374,7 @@ impl DramScheduler for DashScheduler {
     }
 
     fn on_service(&mut self, req: &MemRequest, _row_hit: bool, _now: Cycle) {
-        let mut s = self.shared.borrow_mut();
+        let mut s = self.shared.lock().expect("dash state poisoned");
         match req.source {
             TrafficSource::Cpu(id) => {
                 *s.cpu_bytes.entry(id).or_insert(0) += req.bytes as u64;
@@ -393,11 +392,17 @@ impl DramScheduler for DashScheduler {
     }
 
     fn tick(&mut self, now: Cycle) {
-        self.shared.borrow_mut().roll(now);
+        self.shared.lock().expect("dash state poisoned").roll(now);
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        Some(self.shared.borrow().next_boundary().max(now + 1))
+        Some(
+            self.shared
+                .lock()
+                .expect("dash state poisoned")
+                .next_boundary()
+                .max(now + 1),
+        )
     }
 }
 
@@ -441,7 +446,7 @@ mod tests {
         {
             // Accumulate bandwidth and cross several rollover boundaries so
             // every field diverges from its initial value.
-            let mut s = h.0.borrow_mut();
+            let mut s = h.0.lock().expect("dash state poisoned");
             s.cpu_bytes.insert(0, 4096);
             s.cpu_bytes.insert(3, 128);
             s.ip_bytes = 9000;
@@ -464,8 +469,8 @@ mod tests {
 
         // Both handles must draw the same future RNG stream and agree on
         // every scheduling decision input.
-        let mut a = h.0.borrow_mut();
-        let mut b = twin.0.borrow_mut();
+        let mut a = h.0.lock().expect("dash state poisoned");
+        let mut b = twin.0.lock().expect("dash state poisoned");
         assert_eq!(a.rng.state(), b.rng.state());
         assert_eq!(a.next_boundary(), b.next_boundary());
         assert_eq!(a.p_cpu, b.p_cpu);

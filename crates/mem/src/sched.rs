@@ -44,7 +44,7 @@ pub fn bank_index(loc: &DramLocation, banks_per_rank: usize) -> usize {
 ///
 /// Implementations see the whole queue plus bank states and return the
 /// index of the request to issue this cycle.
-pub trait DramScheduler: fmt::Debug {
+pub trait DramScheduler: fmt::Debug + Send {
     /// Picks the queue index to service next, or `None` to idle.
     fn pick(
         &mut self,

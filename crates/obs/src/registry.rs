@@ -254,6 +254,24 @@ impl Registry {
         out
     }
 
+    /// Renders the same hierarchical document as [`Registry::to_json`]
+    /// but compact and single-line — no newlines, no indentation — so a
+    /// dump can be embedded in a JSONL protocol record. Parsing the two
+    /// forms yields equal values.
+    pub fn to_json_compact(&self) -> String {
+        let mut root = Node::default();
+        for (path, value) in &self.entries {
+            let mut node = &mut root;
+            for seg in path.split('.') {
+                node = node.children.entry(seg).or_default();
+            }
+            node.value = Some(value);
+        }
+        let mut out = String::new();
+        write_node_compact(&mut out, &root);
+        out
+    }
+
     /// Renders the registry as long-format CSV with header
     /// `path,kind,field,value` — one row per instrument field, so any
     /// spreadsheet or dataframe library can pivot it without a parser.
@@ -410,6 +428,75 @@ fn write_node(out: &mut String, node: &Node<'_>, depth: usize) {
     let _ = write!(out, "\n{}}}", "  ".repeat(depth));
 }
 
+fn write_node_compact(out: &mut String, node: &Node<'_>) {
+    if node.children.is_empty() {
+        if let Some(v) = node.value {
+            write_leaf_compact(out, v);
+        } else {
+            out.push_str("{}");
+        }
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    if let Some(v) = node.value {
+        out.push_str("\"_self\":");
+        write_leaf_compact(out, v);
+        first = false;
+    }
+    for (name, child) in &node.children {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":", escape_json(name));
+        write_node_compact(out, child);
+    }
+    out.push('}');
+}
+
+fn write_leaf_compact(out: &mut String, value: &Value) {
+    match value {
+        Value::Counter(c) | Value::Gauge(c) => {
+            let _ = write!(out, "{c}");
+        }
+        Value::Ratio(r) => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"ratio\",\"num\":{},\"den\":{},\"value\":{}}}",
+                r.num,
+                r.den,
+                fmt_f64(r.value())
+            );
+        }
+        Value::Summary(s) => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"summary\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                s.count(),
+                fmt_f64(s.sum()),
+                fmt_f64(s.min()),
+                fmt_f64(s.max()),
+                fmt_f64(s.mean())
+            );
+        }
+        Value::Histogram(h) => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"histogram\",\"bucket_width\":{},\"counts\":[",
+                h.bucket_width()
+            );
+            for (i, c) in h.counts().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
 fn write_leaf(out: &mut String, value: &Value, depth: usize) {
     match value {
         Value::Counter(c) | Value::Gauge(c) => {
@@ -535,6 +622,35 @@ mod tests {
         assert_eq!(d.get("c"), Some(&Value::Counter(15)));
         assert_eq!(d.get("g"), Some(&Value::Gauge(1)));
         assert_eq!(d.get("new"), Some(&Value::Counter(4)));
+    }
+
+    #[test]
+    fn compact_json_parses_equal_to_pretty() {
+        use emerald_common::json::Json;
+        let mut reg = Registry::new();
+        reg.set_counter("gpu.core0.issued", 42);
+        reg.set_gauge("mem.q.depth", 7);
+        let mut ratio = Ratio::default();
+        ratio.record(true);
+        ratio.record(false);
+        reg.set_ratio("gpu.core0.l1d.hits", ratio);
+        let mut s = Summary::default();
+        s.add(1.5);
+        s.add(-2.0);
+        reg.set_summary("mem.lat", s);
+        let mut h = Histogram::new(8, 4);
+        h.record(3);
+        h.record(100);
+        reg.set_histogram("mem.q.occ", h);
+        // A path that is both a leaf and a parent exercises "_self".
+        reg.set_counter("gpu.core0", 1);
+
+        let compact = reg.to_json_compact();
+        assert!(!compact.contains('\n'), "compact dump holds raw newline");
+        assert_eq!(
+            Json::parse(&compact).expect("compact parses"),
+            Json::parse(&reg.to_json()).expect("pretty parses"),
+        );
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Work-stealing scheduler for concurrent sessions.
+//!
+//! Each worker owns a deque of tasks. Owners pop from the front and
+//! re-enqueue sliced sessions at the back (round-robin fairness: one slow
+//! configuration cannot starve the queue); idle workers steal from the
+//! back of a victim's deque. Tasks are *whole sessions* — the simulator
+//! inside each stays single-threaded, so host cores scale across
+//! sessions, sidestepping the weak intra-sim scaling.
+//!
+//! Sessions are constructed lazily on a worker (a `Soc` eagerly maps its
+//! memory image, so building a thousand-job sweep up front would be
+//! gigabytes), and fork groups run as *prefix tasks*: the shared prefix
+//! session warms up slice by slice like any other task, then checkpoints
+//! into an Arc-shared snapshot and replaces itself with one fork task per
+//! member. Scheduling order therefore never affects results — sessions
+//! share nothing mutable, and the determinism tests run the same job set
+//! at 1/2/4 workers with shuffled submission and require identical
+//! output.
+
+use crate::session::{Session, SessionResult};
+use crate::sweep::{self, JobSpec, SweepSpec};
+use emerald_common::snap::SharedSnapshot;
+use emerald_core::session::SceneBinding;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One schedulable unit.
+enum Task {
+    /// A cold job not yet constructed.
+    Cold(JobSpec),
+    /// A running session mid-flight.
+    Run(Box<Session>),
+    /// A fork group's prefix, not yet constructed.
+    Prefix {
+        /// Prefix parameters (divergence fields zeroed, `frames: 0`).
+        prefix: JobSpec,
+        /// Jobs to fork once the prefix is warm.
+        members: Vec<JobSpec>,
+    },
+    /// A warming prefix session mid-flight.
+    PrefixRun {
+        /// The prefix simulation.
+        session: Box<Session>,
+        /// Jobs to fork once the prefix is warm.
+        members: Vec<JobSpec>,
+    },
+    /// A group member waiting to restore from the warmed snapshot.
+    Fork {
+        /// The job to run.
+        spec: JobSpec,
+        /// Shared warmed snapshot (validated once).
+        snapshot: SharedSnapshot,
+        /// The prefix's scene binding — forks must not re-upload.
+        binding: Arc<SceneBinding>,
+    },
+}
+
+/// Aggregate outcome of one sweep run.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Per-session results in job-id order.
+    pub results: Vec<SessionResult>,
+    /// Summed final cycles across sessions.
+    pub total_cycles: u64,
+    /// Warmed prefixes simulated (0 when forking is off).
+    pub prefixes: usize,
+}
+
+struct Shared<'a> {
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Sessions finished so far; workers exit at `expected`.
+    completed: AtomicUsize,
+    expected: usize,
+    results: Mutex<Vec<SessionResult>>,
+    on_result: Option<&'a (dyn Fn(&SessionResult) + Sync)>,
+}
+
+impl Shared<'_> {
+    fn record(&self, result: SessionResult) {
+        if let Some(f) = self.on_result {
+            f(&result);
+        }
+        self.results.lock().expect("results").push(result);
+        self.completed.fetch_add(1, Ordering::Release);
+    }
+
+    fn push(&self, worker: usize, task: Task) {
+        self.deques[worker].lock().expect("deque").push_back(task);
+    }
+
+    /// Own front first (FIFO fairness), then steal from victims' backs.
+    fn next_task(&self, worker: usize) -> Option<Task> {
+        if let Some(t) = self.deques[worker].lock().expect("deque").pop_front() {
+            return Some(t);
+        }
+        let n = self.deques.len();
+        for i in 1..n {
+            let victim = (worker + i) % n;
+            if let Some(t) = self.deques[victim].lock().expect("deque").pop_back() {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// Runs one task for one slice, re-enqueueing whatever work remains.
+fn run_slice(shared: &Shared<'_>, worker: usize, task: Task) {
+    match task {
+        Task::Cold(spec) => {
+            let session = Session::new_cold(spec).expect("spec validated at parse");
+            advance(shared, worker, session);
+        }
+        Task::Run(session) => advance(shared, worker, *session),
+        Task::Prefix { prefix, members } => {
+            let session = Session::new_cold(prefix).expect("spec validated at parse");
+            advance_prefix(shared, worker, session, members);
+        }
+        Task::PrefixRun { session, members } => advance_prefix(shared, worker, *session, members),
+        Task::Fork {
+            spec,
+            snapshot,
+            binding,
+        } => {
+            let session =
+                Session::new_forked(spec, &snapshot, binding).expect("fork from own prefix");
+            advance(shared, worker, session);
+        }
+    }
+}
+
+fn advance(shared: &Shared<'_>, worker: usize, mut session: Session) {
+    if !session.is_done() && session.step() {
+        shared.push(worker, Task::Run(Box::new(session)));
+    } else {
+        shared.record(session.finish());
+    }
+}
+
+fn advance_prefix(shared: &Shared<'_>, worker: usize, mut session: Session, members: Vec<JobSpec>) {
+    if !session.warmup_complete() {
+        session.step();
+    }
+    if !session.warmup_complete() {
+        shared.push(
+            worker,
+            Task::PrefixRun {
+                session: Box::new(session),
+                members,
+            },
+        );
+        return;
+    }
+    // Warm: snapshot once, then one fork task per member. The members go
+    // on this worker's deque back where idle workers steal them.
+    let snapshot = session.checkpoint_shared();
+    let binding = session.binding();
+    for spec in members {
+        shared.push(
+            worker,
+            Task::Fork {
+                spec,
+                snapshot: snapshot.clone(),
+                binding: Arc::clone(&binding),
+            },
+        );
+    }
+}
+
+/// Runs a job set on `workers` threads. `fork` enables snapshot-fork warm
+/// starts for jobs sharing a prefix; submission order is the order of
+/// `jobs` (results are still returned in id order). `on_result` streams
+/// each session's result as it completes, from the completing worker's
+/// thread.
+pub fn run_jobs(
+    jobs: Vec<JobSpec>,
+    fork: bool,
+    workers: usize,
+    on_result: Option<&(dyn Fn(&SessionResult) + Sync)>,
+) -> SweepOutcome {
+    let workers = workers.max(1);
+    let expected = jobs.len();
+    let plan = sweep::plan(jobs, fork);
+    let prefixes = plan.groups.len();
+    let mut tasks: Vec<Task> = Vec::new();
+    for job in plan.cold {
+        tasks.push(Task::Cold(job));
+    }
+    for group in plan.groups {
+        tasks.push(Task::Prefix {
+            prefix: JobSpec {
+                id: usize::MAX,
+                label: format!("prefix:{}", group.prefix.prefix_key()),
+                params: group.prefix,
+            },
+            members: group.members,
+        });
+    }
+
+    let shared = Shared {
+        deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        completed: AtomicUsize::new(0),
+        expected,
+        results: Mutex::new(Vec::with_capacity(expected)),
+        on_result,
+    };
+    for (i, task) in tasks.into_iter().enumerate() {
+        shared.deques[i % workers]
+            .lock()
+            .expect("deque")
+            .push_back(task);
+    }
+
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let shared = &shared;
+            scope.spawn(move || {
+                while shared.completed.load(Ordering::Acquire) < shared.expected {
+                    match shared.next_task(worker) {
+                        Some(task) => run_slice(shared, worker, task),
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        }
+    });
+
+    let mut results = shared.results.into_inner().expect("results");
+    results.sort_by_key(|r| r.id);
+    let total_cycles = results.iter().map(|r| r.cycles).sum();
+    SweepOutcome {
+        results,
+        total_cycles,
+        prefixes,
+    }
+}
+
+/// Expands a sweep spec and runs it (see [`run_jobs`]).
+pub fn run_sweep(
+    spec: &SweepSpec,
+    workers: usize,
+    on_result: Option<&(dyn Fn(&SessionResult) + Sync)>,
+) -> Result<SweepOutcome, String> {
+    let jobs = spec.expand()?;
+    Ok(run_jobs(jobs, spec.fork, workers, on_result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec::parse(
+            r#"{
+                "name": "tiny",
+                "base": {"model": "I1", "warmup": 1, "frames": 1},
+                "axes": [{"key": "frame_offset", "values": [0, 2]}]
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn results_are_id_ordered_and_complete() {
+        let spec = tiny_spec();
+        let out = run_sweep(&spec, 2, None).unwrap();
+        assert_eq!(out.results.len(), 2);
+        assert_eq!(out.results[0].id, 0);
+        assert_eq!(out.results[1].id, 1);
+        assert_eq!(out.prefixes, 1, "both jobs share one warmed prefix");
+        assert!(out.total_cycles > 0);
+        assert_ne!(
+            out.results[0].fb_digest, out.results[1].fb_digest,
+            "different frame offsets must diverge"
+        );
+    }
+
+    #[test]
+    fn streaming_callback_sees_every_session() {
+        let spec = tiny_spec();
+        let seen = Mutex::new(Vec::new());
+        let cb = |r: &SessionResult| seen.lock().unwrap().push(r.id);
+        let out = run_sweep(&spec, 2, Some(&cb)).unwrap();
+        let mut ids = seen.into_inner().unwrap();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(out.results.len(), 2);
+    }
+}

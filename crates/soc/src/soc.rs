@@ -905,8 +905,30 @@ impl Soc {
     /// topology the snapshot was captured under (enforced via a config
     /// hash stamped into the container).
     pub fn restore(bytes: &[u8], cfg: &SocConfig) -> Result<Soc, SnapError> {
+        let r = emerald_common::snap::open_container(bytes, Self::cfg_hash(cfg))?;
+        Self::restore_body(r, cfg)
+    }
+
+    /// Rebuilds a SoC from a validated [`SharedSnapshot`] without copying
+    /// or re-checksumming the container. This is the fork path of the
+    /// sweep engine: N sessions diverge from one warmed snapshot, each
+    /// borrowing the shared bytes for the duration of its own decode.
+    pub fn restore_shared(
+        snap: &emerald_common::snap::SharedSnapshot,
+        cfg: &SocConfig,
+    ) -> Result<Soc, SnapError> {
+        let r = snap.reader(Self::cfg_hash(cfg))?;
+        Self::restore_body(r, cfg)
+    }
+
+    /// Decodes container body sections into a freshly built SoC. Shared by
+    /// the owned ([`Soc::restore`]) and Arc-shared ([`Soc::restore_shared`])
+    /// entry points so the two paths cannot drift.
+    fn restore_body(
+        mut r: emerald_common::snap::SnapReader<'_>,
+        cfg: &SocConfig,
+    ) -> Result<Soc, SnapError> {
         let mut soc = Soc::new(cfg.clone());
-        let mut r = emerald_common::snap::open_container(bytes, Self::cfg_hash(cfg))?;
         r.section(1, |r| soc.mem.restore(r))?;
         r.section(2, |r| soc.memsys.restore(r))?;
         r.section(3, |r| soc.renderer.restore(r))?;
@@ -1037,6 +1059,16 @@ impl Soc {
         }
         emerald_obs::prof::loop_exit(prof_loop);
     }
+}
+
+// The sweep engine (`emerald-serve`) moves whole sessions — each owning a
+// `Soc` — across scheduler worker threads, so `Soc` must stay `Send`.
+// This fails to compile if a non-`Send` handle (e.g. an `Rc`) creeps back
+// into any component.
+#[allow(dead_code)]
+fn assert_soc_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Soc>();
 }
 
 #[cfg(test)]

@@ -55,6 +55,22 @@ EMERALD_SKIP=0 cargo test --release --test snapshot -q
 echo "==> examples smoke test"
 cargo run --release --example trace_export >/dev/null
 
+echo "==> sweep engine smoke (2 axes x 2 values, 2 fork groups, 4 workers)"
+cargo run --release --quiet --bin emerald_bench -- --sweep sweeps/ci_smoke.json --workers 4 > SWEEP_smoke.jsonl
+test "$(grep -c '"ev":"session"' SWEEP_smoke.jsonl)" -eq 4
+grep -q '"start":"forked"' SWEEP_smoke.jsonl
+grep -q '"registry":{' SWEEP_smoke.jsonl
+
+echo "==> sweep protocol smoke (emerald_serve ping + one-shot spec run)"
+echo '{"op":"ping"}' | cargo run --release --quiet --bin emerald_serve | grep -q '"ev":"pong"'
+cargo run --release --quiet --bin emerald_serve -- --spec sweeps/ci_smoke.json --workers 4 \
+  | grep -q '"ev":"sweep_done"'
+
+echo "==> checked-in sweep specs validate against the real axis tables (sweeps/*.json)"
+for spec in sweeps/*.json; do
+  cargo run --release --quiet --bin emerald_serve -- --spec "$spec" --check
+done
+
 echo "==> bench smoke (BENCH_frame.json emitted and well-formed)"
 ./scripts/bench.sh --smoke >/dev/null 2>&1
 test -s BENCH_frame.json

@@ -41,6 +41,11 @@ pub struct Run {
     pub phases: PhaseTimes,
     /// Host self-profile of the sim phase (`EMERALD_PROFILE=1` only).
     pub profile: Option<emerald_obs::HostProfile>,
+    /// Concurrent sessions for sweep workloads (`sweep_*` rows): `cycles`
+    /// is then the *sum* across sessions and the serializer adds a
+    /// `sessions_per_sec` throughput column. `None` for single-sim rows —
+    /// the schema stays additive.
+    pub sessions: Option<u64>,
 }
 
 /// A named workload with its thread-scaling runs (first run is the
@@ -186,8 +191,19 @@ pub fn to_json(
                 Some(p) => format!(", \"profile\": {}", profile_json(p, r.phases.sim_ms)),
                 None => String::new(),
             };
+            let sessions = match r.sessions {
+                Some(n) => {
+                    let sps = if r.wall_ms > 0.0 {
+                        n as f64 / (r.wall_ms / 1e3)
+                    } else {
+                        0.0
+                    };
+                    format!(", \"sessions\": {n}, \"sessions_per_sec\": {sps:.2}")
+                }
+                None => String::new(),
+            };
             s.push_str(&format!(
-                "      {{ \"threads\": {}, \"wall_ms\": {:.3}, \"cycles\": {}, \"cycles_per_sec\": {:.1}, \"speedup_vs_1t\": {:.3}, \"phases\": {{ \"setup_ms\": {:.3}, \"sim_ms\": {:.3}, \"readback_ms\": {:.3} }}{} }}{}\n",
+                "      {{ \"threads\": {}, \"wall_ms\": {:.3}, \"cycles\": {}, \"cycles_per_sec\": {:.1}, \"speedup_vs_1t\": {:.3}{sessions}, \"phases\": {{ \"setup_ms\": {:.3}, \"sim_ms\": {:.3}, \"readback_ms\": {:.3} }}{} }}{}\n",
                 r.threads,
                 r.wall_ms,
                 r.cycles,
@@ -242,6 +258,7 @@ mod tests {
                         readback_ms: 1.0,
                     },
                     profile: None,
+                    sessions: None,
                 },
                 Run {
                     threads: 2,
@@ -253,6 +270,7 @@ mod tests {
                         readback_ms: 1.0,
                     },
                     profile: None,
+                    sessions: None,
                 },
             ],
         }]

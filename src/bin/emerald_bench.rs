@@ -109,6 +109,20 @@ fn main() {
         restore_mode(smoke, &path);
         return;
     }
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--sweep")
+        .and_then(|i| args.get(i + 1).cloned())
+    {
+        let workers = args
+            .iter()
+            .position(|a| a == "--workers")
+            .and_then(|i| args.get(i + 1))
+            .map(|w| w.parse::<usize>().expect("--workers wants an integer"))
+            .unwrap_or(4);
+        sweep_client_mode(&path, workers);
+        return;
+    }
     let thread_counts: &[usize] = &[1, 2, 4];
 
     let profiling = emerald::obs::prof::init_from_env();
@@ -249,7 +263,24 @@ fn main() {
         runs: vec![warm],
     });
 
-    // 6. Pool dispatch-latency microbenchmark: the fixed cost of one
+    // 6. Session-parallel sweeps: the same 8-session sweep (one shared
+    // warmed prefix) run cold (every session re-simulates the warmup) and
+    // forked (the prefix runs once, members restore its snapshot), each at
+    // 1/2/4/8 scheduler workers. Here `threads` is the *worker* count and
+    // `cycles` the *sum* across sessions; per-session results must be
+    // bit-identical along both axes (worker count, fork-vs-cold), and the
+    // forked sweep must beat the cold one at every worker count.
+    let (cold_runs, forked_runs) = bench_sweeps(smoke);
+    workloads.push(Workload {
+        name: "sweep_cold",
+        runs: cold_runs,
+    });
+    workloads.push(Workload {
+        name: "sweep_forked",
+        runs: forked_runs,
+    });
+
+    // 7. Pool dispatch-latency microbenchmark: the fixed cost of one
     // empty `CorePool::run` (publish, wake, join) per pool width.
     let mut pool_dispatch = Vec::new();
     for width in [2usize, 4] {
@@ -261,7 +292,7 @@ fn main() {
         });
     }
 
-    // 6. Profiler overhead: the same saxpy sim with profiling forced off
+    // 8. Profiler overhead: the same saxpy sim with profiling forced off
     // vs. on. Cycles must be bit-identical (the profiler never touches
     // simulated state); wall-clock cost is recorded and, in smoke mode,
     // gated at 5 %.
@@ -409,6 +440,7 @@ fn bench_render(
             cycles: s.cycles,
             phases,
             profile,
+            sessions: None,
         },
         fb,
     )
@@ -472,6 +504,7 @@ fn bench_saxpy(threads: usize, n: usize) -> Run {
         cycles,
         phases,
         profile,
+        sessions: None,
     }
 }
 
@@ -525,6 +558,7 @@ fn bench_soc_vsync(threads: usize, smoke: bool) -> Run {
         cycles,
         phases,
         profile,
+        sessions: None,
     }
 }
 
@@ -574,6 +608,7 @@ fn bench_soc_fencewait(threads: usize, smoke: bool) -> Run {
         cycles,
         phases,
         profile,
+        sessions: None,
     }
 }
 
@@ -698,6 +733,7 @@ fn bench_soc_restore(smoke: bool) -> (Run, Run) {
             cycles: cold_cycles,
             phases: cold_phases,
             profile: None,
+            sessions: None,
         },
         Run {
             threads: 1,
@@ -705,8 +741,138 @@ fn bench_soc_restore(smoke: bool) -> (Run, Run) {
             cycles: warm_cycles,
             phases: warm_phases,
             profile: None,
+            sessions: None,
         },
     )
+}
+
+/// The built-in 8-session sweep behind the `sweep_cold` / `sweep_forked`
+/// rows: 2 frame offsets × 4 late-Z seeds over the idle workload, all
+/// sharing one warmed prefix so the forked plan collapses to a single
+/// warmup.
+fn bench_sweep_spec(smoke: bool) -> emerald::serve::SweepSpec {
+    let (warmup, frames) = if smoke { (1, 1) } else { (2, 2) };
+    emerald::serve::SweepSpec::parse(&format!(
+        r#"{{
+            "name": "bench",
+            "base": {{"model": "I1", "warmup": {warmup}, "frames": {frames}}},
+            "axes": [
+                {{"key": "frame_offset", "values": [0, 1]}},
+                {{"key": "seed", "values": [0, 1, 2, 3]}}
+            ]
+        }}"#
+    ))
+    .expect("built-in sweep spec is valid")
+}
+
+/// Runs the built-in sweep once and returns its bench row plus the
+/// per-session `(cycles, fb_digest, registry)` signature used for the
+/// bit-identity checks.
+fn bench_sweep_once(smoke: bool, fork: bool, workers: usize) -> (Run, Vec<(u64, u64, String)>) {
+    let spec = bench_sweep_spec(smoke);
+    let jobs = spec.expand().expect("built-in sweep expands");
+    let (wall_ms, outcome) = timed(|| emerald::serve::sched::run_jobs(jobs, fork, workers, None));
+    let sig = outcome
+        .results
+        .iter()
+        .map(|r| (r.cycles, r.fb_digest, r.registry_json.clone()))
+        .collect();
+    let phases = PhaseTimes {
+        setup_ms: 0.0,
+        sim_ms: wall_ms,
+        readback_ms: 0.0,
+    };
+    let run = Run {
+        threads: workers,
+        wall_ms,
+        cycles: outcome.total_cycles,
+        phases,
+        profile: None,
+        sessions: Some(outcome.results.len() as u64),
+    };
+    (run, sig)
+}
+
+/// `sweep_cold` / `sweep_forked` rows at 1/2/4/8 scheduler workers.
+/// Every run must produce bit-identical per-session results (the
+/// scheduler interleaving and the start mode are not allowed to leak into
+/// simulated state), and the forked arm must beat the cold arm on wall
+/// time. Aggregate-throughput scaling is asserted only on hosts with
+/// enough real cores to express it.
+fn bench_sweeps(smoke: bool) -> (Vec<Run>, Vec<Run>) {
+    let worker_counts = [1usize, 2, 4, 8];
+    let mut reference: Option<Vec<(u64, u64, String)>> = None;
+    let mut cold = Vec::new();
+    let mut forked = Vec::new();
+    for fork in [false, true] {
+        let name = if fork { "sweep_forked" } else { "sweep_cold" };
+        for &workers in &worker_counts {
+            let (run, sig) = bench_sweep_once(smoke, fork, workers);
+            let sessions = run.sessions.expect("sweep rows carry sessions");
+            eprintln!(
+                "{name} w={workers}: {:.1} ms, {sessions} sessions ({:.1}/s), {} summed cycles",
+                run.wall_ms,
+                sessions as f64 / (run.wall_ms / 1e3),
+                run.cycles
+            );
+            match &reference {
+                None => reference = Some(sig),
+                Some(r) => assert_eq!(
+                    *r, sig,
+                    "{name} at {workers} workers diverged from the reference sessions"
+                ),
+            }
+            if fork { &mut forked } else { &mut cold }.push(run);
+        }
+    }
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if host >= 4 {
+        let cps = |r: &Run| r.cycles as f64 / (r.wall_ms / 1e3);
+        let (c1, c4) = (cps(&cold[0]), cps(&cold[2]));
+        assert!(
+            c4 >= 3.0 * c1,
+            "cold sweep aggregate throughput scaled only {:.2}x from 1 to 4 workers",
+            c4 / c1
+        );
+    } else {
+        eprintln!("sweep 1->4 worker scaling check skipped: host has {host} core(s)");
+    }
+    let total = |runs: &[Run]| runs.iter().map(|r| r.wall_ms).sum::<f64>();
+    assert!(
+        total(&forked) < total(&cold),
+        "forked sweep ({:.1} ms total) must beat cold ({:.1} ms total) — \
+         one shared warmup plus restores is cheaper than eight warmups",
+        total(&forked),
+        total(&cold)
+    );
+    (cold, forked)
+}
+
+/// `--sweep FILE` client mode: run a sweep spec through the serve engine,
+/// streaming the same protocol records as `emerald_serve --spec FILE` to
+/// stdout, with a human summary on stderr.
+fn sweep_client_mode(path: &str, workers: usize) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read sweep spec {path}: {e}"));
+    let spec = emerald::serve::SweepSpec::parse(&text).unwrap_or_else(|e| {
+        eprintln!("invalid sweep spec {path}: {e}");
+        std::process::exit(1);
+    });
+    let stream = |r: &emerald::serve::SessionResult| {
+        println!("{}", emerald::serve::proto::session_record(r));
+    };
+    let (wall_ms, outcome) =
+        timed(|| emerald::serve::run_sweep(&spec, workers, Some(&stream)).expect("sweep run"));
+    let sessions = outcome.results.len();
+    eprintln!(
+        "sweep {}: {sessions} sessions, {} prefixes, {} summed cycles, {wall_ms:.1} ms at {workers} workers ({:.1} sessions/s)",
+        spec.name,
+        outcome.prefixes,
+        outcome.total_cycles,
+        sessions as f64 / (wall_ms / 1e3)
+    );
 }
 
 fn bench_soc_frame(threads: usize, smoke: bool) -> Run {
@@ -742,5 +908,6 @@ fn bench_soc_frame(threads: usize, smoke: bool) -> Run {
         cycles: res.avg_total_cycles as u64,
         phases,
         profile,
+        sessions: None,
     }
 }

@@ -1,0 +1,62 @@
+//! JSON-line sweep server over stdin/stdout.
+//!
+//! Reads one request per line, writes one or more response records per
+//! request, and streams per-session results as they complete (see
+//! `emerald_serve::proto` for the protocol). Exits on `shutdown` or EOF.
+//!
+//! ```text
+//! $ echo '{"op": "ping"}' | emerald_serve
+//! {"ok":true,"ev":"pong"}
+//!
+//! $ emerald_serve < requests.jsonl > results.jsonl
+//! $ emerald_serve --spec sweeps/ci_smoke.json --workers 4   # one-shot
+//! ```
+//!
+//! `--spec FILE` runs a single sweep from a spec file without the
+//! protocol loop: results stream to stdout, then the process exits
+//! (nonzero if the spec is invalid). With `--check` the spec is only
+//! validated and expanded — every axis coordinate is resolved against
+//! the real config/workload tables — without simulating anything.
+
+use std::io::{self, BufReader};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let spec_path = args
+        .iter()
+        .position(|a| a == "--spec")
+        .and_then(|i| args.get(i + 1).cloned());
+    let check_only = args.iter().any(|a| a == "--check");
+    let workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|w| w.parse::<usize>().expect("--workers wants an integer"))
+        .unwrap_or(1);
+
+    if let Some(path) = spec_path {
+        // One-shot mode: synthesize a single sweep request from the file.
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read sweep spec {path}: {e}"));
+        let spec = emerald_serve::SweepSpec::parse(&text).unwrap_or_else(|e| {
+            eprintln!("invalid sweep spec {path}: {e}");
+            std::process::exit(1);
+        });
+        if check_only {
+            println!("{path}: ok ({} jobs)", spec.job_count());
+            return;
+        }
+        let request = format!(
+            "{{\"op\":\"sweep\",\"workers\":{workers},\"spec\":{}}}\n",
+            text.replace('\n', " ")
+        );
+        let _ = spec; // validated above for the early, readable error
+        emerald_serve::proto::serve(request.as_bytes(), io::stdout())
+            .expect("serve one-shot sweep");
+        return;
+    }
+
+    let stdin = io::stdin();
+    emerald_serve::proto::serve(BufReader::new(stdin.lock()), io::stdout())
+        .expect("serve protocol loop");
+}

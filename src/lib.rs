@@ -17,6 +17,7 @@
 //! | [`core`] | `emerald-core` | the graphics pipeline + DFSL |
 //! | [`soc`] | `emerald-soc` | CPU cluster, display, full system |
 //! | [`obs`] | `emerald-obs` | metrics registry, event traces, timelines |
+//! | [`serve`] | `emerald-serve` | session-parallel sweep engine + JSONL protocol |
 //!
 //! ## Quickstart: render a frame on the simulated GPU
 //!
@@ -54,6 +55,7 @@ pub use emerald_isa as isa;
 pub use emerald_mem as mem;
 pub use emerald_obs as obs;
 pub use emerald_scene as scene;
+pub use emerald_serve as serve;
 pub use emerald_soc as soc;
 
 /// One-stop imports for examples and tests.

@@ -103,6 +103,16 @@ fn assert_v1_shape(doc: &Json, require_phases: bool) {
             if let Some(p) = r.get("profile") {
                 assert_profile_shape(p);
             }
+            // Sweep rows additionally carry the session aggregate pair;
+            // both keys appear together or not at all.
+            match (r.get("sessions"), r.get("sessions_per_sec")) {
+                (None, None) => {}
+                (Some(n), Some(sps)) => {
+                    assert!(n.as_num().is_some(), "sessions non-numeric");
+                    assert!(sps.as_num().is_some(), "sessions_per_sec non-numeric");
+                }
+                _ => panic!("sessions and sessions_per_sec must appear together"),
+            }
         }
         // The 1-thread baseline comes first; speedup there is 1.0 (or 0.0
         // for a degenerate zero-time run, which must still serialize).
@@ -162,6 +172,7 @@ fn synthetic_workloads(with_profile: bool) -> Vec<Workload> {
                         readback_ms: 0.5,
                     },
                     profile: with_profile.then(synthetic_profile),
+                    sessions: None,
                 },
                 Run {
                     threads: 4,
@@ -173,6 +184,7 @@ fn synthetic_workloads(with_profile: bool) -> Vec<Workload> {
                         readback_ms: 0.5,
                     },
                     profile: with_profile.then(synthetic_profile),
+                    sessions: None,
                 },
             ],
         },
@@ -184,6 +196,25 @@ fn synthetic_workloads(with_profile: bool) -> Vec<Workload> {
                 cycles: 0,
                 phases: PhaseTimes::default(),
                 profile: None,
+                sessions: None,
+            }],
+        },
+        // A sweep-style workload: `threads` is the scheduler worker
+        // count and `cycles` the sum across `sessions` concurrent
+        // simulations.
+        Workload {
+            name: "sweep",
+            runs: vec![Run {
+                threads: 1,
+                wall_ms: 50.0,
+                cycles: 80_000,
+                phases: PhaseTimes {
+                    setup_ms: 0.0,
+                    sim_ms: 50.0,
+                    readback_ms: 0.0,
+                },
+                profile: None,
+                sessions: Some(8),
             }],
         },
     ]
@@ -233,6 +264,21 @@ fn synthetic_report_matches_schema() {
         .unwrap();
     assert!(sim1 > sim0);
     assert!(runs[1].get("speedup_vs_1t").unwrap().as_num().unwrap() < 1.0);
+
+    // The sweep-style workload serializes its session aggregate: 8
+    // sessions over 50 ms is 160 sessions/sec.
+    let sweep = doc
+        .get("workloads")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .find(|w| w.get("name").and_then(|n| n.as_str()) == Some("sweep"))
+        .expect("sweep workload present");
+    let run = &sweep.get("runs").unwrap().as_arr().unwrap()[0];
+    assert_eq!(run.get("sessions").unwrap().as_num().unwrap(), 8.0);
+    let sps = run.get("sessions_per_sec").unwrap().as_num().unwrap();
+    assert!((sps - 160.0).abs() < 1e-6, "sessions_per_sec was {sps}");
 }
 
 #[test]
